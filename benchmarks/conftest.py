@@ -1,0 +1,44 @@
+"""Benchmark configuration.
+
+Every bench runs at ``Scale.small()`` (3000 train / 1000 test, 4 epochs):
+large enough that the paper's shapes are visible, small enough that the
+whole suite finishes in a few minutes on one core.  Training is cached per
+process by :mod:`repro.experiments.common`, so pytest-benchmark's repeated
+rounds time only the measurement (conditional inference + aggregation),
+not training.
+
+Environment variable ``REPRO_BENCH_SCALE`` (``tiny``/``small``/``full``)
+overrides the scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import Scale
+
+_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    return getattr(Scale, name)()
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return _SEED
+
+
+@pytest.fixture
+def report():
+    """Print a rendered table/figure under a banner (shown with -s; captured
+    otherwise but still exercised)."""
+
+    def _report(title: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}")
+
+    return _report

@@ -1,0 +1,61 @@
+"""Hardware costing: the synthesis-substitute flow end to end.
+
+The paper synthesized each classifier to IBM 45 nm SOI with Synopsys
+tools.  This example runs the analytic substitute on both reproduced
+architectures: per-layer gate counts, area, power, and per-input energy --
+plus a voltage-scaling what-if that a real power-compiler flow would also
+answer.
+
+Usage::
+
+    python examples/hardware_costing.py
+"""
+
+from repro import TECHNOLOGY_45NM, EnergyReport
+from repro.cdl.architectures import mnist_2c, mnist_3c
+from repro.energy.rtl import synthesize_layer
+from repro.ops.counting import count_layer_ops
+from repro.utils.tables import AsciiTable
+
+
+def per_layer_table(network, name):
+    table = AsciiTable(
+        ["layer", "OPS", "gates", "area (um^2)", "SRAM bits",
+         "dyn (mW)", "leak (mW)"],
+        title=f"Synthesis estimate: {name} @ {TECHNOLOGY_45NM.name}",
+    )
+    for layer in network.layers:
+        ops = count_layer_ops(layer)
+        rep = synthesize_layer(layer)
+        table.add_row(
+            [layer.name, ops.total, rep.gate_count, round(rep.area_um2, 0),
+             rep.sram_bits, round(rep.dynamic_mw, 2), round(rep.leakage_mw, 3)]
+        )
+    return table.render()
+
+
+def main() -> None:
+    for builder, name in ((mnist_2c, "MNIST_2C (Table I)"),
+                          (mnist_3c, "MNIST_3C (Table II)")):
+        network, _spec = builder(rng=0)
+        print(per_layer_table(network, name))
+        print()
+        print(EnergyReport.for_network(network, name=name).render())
+        print()
+
+    # Voltage-scaling what-if: E ~ V^2.
+    network, _ = mnist_3c(rng=0)
+    table = AsciiTable(
+        ["supply voltage", "energy / input (pJ)"],
+        title="MNIST_3C energy vs supply voltage (E ~ V^2)",
+    )
+    from repro.energy.models import network_energy
+
+    for voltage in (0.9, 0.7, 0.5):
+        tech = TECHNOLOGY_45NM.scaled_voltage(voltage)
+        table.add_row([f"{voltage:.1f} V", round(network_energy(network, tech), 0)])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

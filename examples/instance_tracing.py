@@ -1,0 +1,69 @@
+"""Trace single inputs through the cascade (Algorithm 2, step by step).
+
+Picks one easy and one hard test instance, renders them as ASCII art, and
+prints each stage's scores, confidence, and terminate/forward decision --
+the paper's Table IV told as a story.
+
+Usage::
+
+    python examples/instance_tracing.py
+"""
+
+import numpy as np
+
+from repro import (
+    CdlTrainingConfig,
+    classify_instance,
+    make_dataset_pair,
+    train_cdln,
+)
+from repro.experiments.table4_examples import image_to_ascii
+
+
+def show_trace(cdln, image, label, difficulty, delta):
+    trace = classify_instance(cdln, image, delta=delta)
+    verdict = "correct" if trace.label == label else f"wrong (true {label})"
+    print(f"\ntrue digit {label}, generation difficulty {difficulty:.2f}:")
+    print(image_to_ascii(image))
+    for decision in trace.decisions:
+        action = "TERMINATE" if decision.terminated else "forward"
+        top = np.argsort(decision.scores)[::-1][:3]
+        scores = ", ".join(f"{d}:{decision.scores[d]:.2f}" for d in top)
+        print(
+            f"  stage {decision.stage_name}: top scores [{scores}] "
+            f"confidence={decision.confidence:.2f} -> {action}"
+        )
+    print(f"  => exits at {trace.exit_stage_name} with label "
+          f"{trace.label} ({verdict})")
+
+
+def main() -> None:
+    delta = 0.6
+    train, test = make_dataset_pair(3000, 1000, rng=0)
+    trained = train_cdln(
+        train, config=CdlTrainingConfig(architecture="mnist_3c", baseline_epochs=4),
+        rng=1,
+    )
+    cdln = trained.cdln
+
+    # The easiest and hardest instances of digit 5 by generation difficulty.
+    fives = np.flatnonzero(test.labels == 5)
+    easiest = fives[np.argmin(test.difficulty[fives])]
+    hardest = fives[np.argmax(test.difficulty[fives])]
+    for idx in (easiest, hardest):
+        show_trace(
+            cdln, test.images[idx], int(test.labels[idx]),
+            float(test.difficulty[idx]), delta,
+        )
+
+    # Aggregate: how deep does each digit travel on average?
+    result = cdln.predict(test.images, delta=delta)
+    print("\nmean exit stage per digit (0 = first linear classifier):")
+    for digit in range(10):
+        mask = test.labels == digit
+        if mask.any():
+            print(f"  digit {digit}: {result.exit_stages[mask].mean():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""The runtime knob δ: trade accuracy for energy without retraining.
+
+The paper's Section V.E shows δ "can be easily adjusted during runtime".
+This example emulates a deployment scenario: one trained CDLN serving
+three operating modes -- high-accuracy (plugged in), balanced, and
+low-power (battery saver) -- by moving only δ.
+
+Usage::
+
+    python examples/runtime_knob.py
+"""
+
+from repro import CdlTrainingConfig, evaluate_cdln, make_dataset_pair, train_cdln
+from repro.utils.tables import AsciiTable
+
+MODES = {
+    "high-accuracy (plugged in)": 0.75,
+    "balanced (default)": 0.6,
+    "low-power (battery saver)": 0.45,
+}
+
+
+def main() -> None:
+    train, test = make_dataset_pair(3000, 1000, rng=0)
+    trained = train_cdln(
+        train, config=CdlTrainingConfig(architecture="mnist_3c", baseline_epochs=4),
+        rng=1,
+    )
+
+    table = AsciiTable(
+        ["mode", "delta", "accuracy (%)", "normalized OPS",
+         "energy gain", "exit fractions"],
+        title="One trained CDLN, three operating points",
+    )
+    for mode, delta in MODES.items():
+        ev = evaluate_cdln(trained.cdln, test, delta=delta)
+        fractions = "/".join(f"{f:.2f}" for f in ev.stage_exit_fractions())
+        table.add_row(
+            [mode, delta, round(ev.accuracy * 100, 2),
+             round(ev.normalized_ops, 3),
+             f"{ev.energy_improvement:.2f}x", fractions]
+        )
+    print(table.render())
+    print(
+        "\nNo retraining happened between rows -- the activation module "
+        "simply compared stage confidences against a different delta."
+    )
+
+
+if __name__ == "__main__":
+    main()

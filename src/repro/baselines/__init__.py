@@ -1,0 +1,23 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.dln` -- the unconditional deep network (the
+  paper's own baseline): every input pays the full forward pass.
+* :mod:`repro.baselines.scalable_effort` -- a scalable-effort cascade in
+  the style of Venkataramani et al. (DAC 2015), the paper's reference [1]:
+  a chain of increasingly complex *complete* classifiers, rather than taps
+  into one shared backbone.  Used by the extension ablation to show what
+  sharing the convolutional trunk buys.
+"""
+
+from repro.baselines.dln import BaselineEvaluation, evaluate_dln
+from repro.baselines.scalable_effort import (
+    ScalableEffortCascade,
+    ScalableEffortEvaluation,
+)
+
+__all__ = [
+    "BaselineEvaluation",
+    "ScalableEffortCascade",
+    "ScalableEffortEvaluation",
+    "evaluate_dln",
+]

@@ -1,0 +1,111 @@
+"""Scalable-effort classifier cascade (the paper's reference [1]).
+
+Venkataramani et al. (DAC 2015) chain *complete, independent* classifiers
+of increasing complexity and consult them in order, stopping at the first
+confident one.  CDL's insight over that design is to share one
+convolutional trunk and tap it, so a forwarded input never recomputes
+early features.  This module implements the independent-cascade design so
+the ablation bench can quantify exactly that difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cdl.confidence import ActivationModule
+from repro.data.dataset import DigitDataset
+from repro.errors import ConfigurationError, NotFittedError
+from repro.nn.metrics import accuracy
+from repro.nn.network import Network
+from repro.ops.counting import network_total_ops
+
+
+@dataclass(frozen=True)
+class ScalableEffortEvaluation:
+    """Accuracy/OPS summary for the independent cascade."""
+
+    accuracy: float
+    average_ops: float
+    baseline_ops: float
+    stage_exit_fractions: np.ndarray
+
+    @property
+    def ops_improvement(self) -> float:
+        return self.baseline_ops / self.average_ops
+
+
+class ScalableEffortCascade:
+    """A chain of independent classifiers consulted in complexity order.
+
+    Parameters
+    ----------
+    models:
+        Trained networks, simplest first; the last one is the fallback
+        that classifies everything reaching it.
+    activation_module:
+        Confidence gate (same machinery as the CDLN, for a fair
+        comparison).
+    """
+
+    def __init__(
+        self,
+        models: Sequence[Network],
+        activation_module: ActivationModule | None = None,
+    ) -> None:
+        if not models:
+            raise ConfigurationError("the cascade needs at least one model")
+        self.models = list(models)
+        self.activation_module = activation_module or ActivationModule()
+        self._trained = all(m.num_params >= 0 for m in self.models)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.models)
+
+    def stage_costs(self) -> np.ndarray:
+        """Cumulative OPS of exiting at stage ``s``: an input consults every
+        model up to and including ``s`` *in full* (nothing is shared)."""
+        costs = np.array([network_total_ops(m) for m in self.models], dtype=np.float64)
+        return np.cumsum(costs)
+
+    def predict(
+        self, images: np.ndarray, delta: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Returns ``(labels, exit_stages)``."""
+        if not self.models:
+            raise NotFittedError("empty cascade")
+        n = images.shape[0]
+        labels = np.full(n, -1, dtype=np.int64)
+        exits = np.full(n, -1, dtype=np.int64)
+        active = np.arange(n)
+        for stage_idx, model in enumerate(self.models):
+            if active.size == 0:
+                break
+            out = model.forward(images[active], training=False)
+            is_last = stage_idx == len(self.models) - 1
+            verdict = self.activation_module.decide(out, delta)
+            terminate = verdict.terminate | is_last
+            done = active[terminate]
+            labels[done] = verdict.labels[terminate]
+            exits[done] = stage_idx
+            active = active[~terminate]
+        return labels, exits
+
+    def evaluate(
+        self, dataset: DigitDataset, delta: float | None = None
+    ) -> ScalableEffortEvaluation:
+        labels, exits = self.predict(dataset.images, delta)
+        cumulative = self.stage_costs()
+        per_input = cumulative[exits]
+        fractions = np.bincount(exits, minlength=self.num_stages) / max(len(dataset), 1)
+        return ScalableEffortEvaluation(
+            accuracy=accuracy(labels, dataset.labels),
+            average_ops=float(per_input.mean()),
+            baseline_ops=float(cumulative[-1] - cumulative[-2])
+            if self.num_stages > 1
+            else float(cumulative[-1]),
+            stage_exit_fractions=fractions,
+        )

@@ -1,0 +1,81 @@
+"""Conditional Deep Learning (CDL): the paper's primary contribution.
+
+A :class:`~repro.cdl.network.CDLN` wraps a trained baseline DLN with a
+cascade of linear classifiers attached at its convolutional stages
+(Fig. 3(b) of the paper).  At test time the
+:class:`~repro.cdl.confidence.ActivationModule` monitors each stage's
+confidence and terminates classification early for easy inputs
+(Algorithm 2); during construction, Algorithm 1's gain criterion decides
+which stages are worth keeping (:mod:`repro.cdl.gain`).
+"""
+
+from repro.cdl.architectures import (
+    ARCHITECTURES,
+    ArchitectureSpec,
+    build_architecture,
+    mnist_2c,
+    mnist_3c,
+    mnist_3c_all_taps,
+)
+from repro.cdl.confidence import (
+    ActivationModule,
+    AmbiguityPolicy,
+    ConfidenceAssessment,
+    MarginPolicy,
+    MaxProbabilityPolicy,
+    ScoreThresholdPolicy,
+    get_confidence_policy,
+)
+from repro.cdl.gain import (
+    AdmissionResult,
+    MarginalGain,
+    StageGain,
+    admit_stages,
+    evaluate_stage_gains,
+    stage_gain,
+)
+from repro.cdl.inference import InstanceTrace, StageDecision, classify_instance
+from repro.cdl.linear_classifier import LinearClassifier
+from repro.cdl.network import CDLN, CdlBatchResult
+from repro.cdl.stages import Stage
+from repro.cdl.statistics import (
+    CdlEvaluation,
+    evaluate_baseline_accuracy,
+    evaluate_cdln,
+)
+from repro.cdl.training import CdlTrainingConfig, TrainedCdl, train_cdln
+
+__all__ = [
+    "ARCHITECTURES",
+    "ActivationModule",
+    "AdmissionResult",
+    "AmbiguityPolicy",
+    "MarginalGain",
+    "ArchitectureSpec",
+    "CDLN",
+    "CdlBatchResult",
+    "CdlEvaluation",
+    "CdlTrainingConfig",
+    "ConfidenceAssessment",
+    "InstanceTrace",
+    "LinearClassifier",
+    "MarginPolicy",
+    "MaxProbabilityPolicy",
+    "ScoreThresholdPolicy",
+    "Stage",
+    "StageDecision",
+    "StageGain",
+    "TrainedCdl",
+    "admit_stages",
+    "build_architecture",
+    "classify_instance",
+    "evaluate_baseline_accuracy",
+    "evaluate_cdln",
+    "evaluate_stage_gains",
+    "get_confidence_policy",
+    "mnist_2c",
+    "mnist_3c",
+    "mnist_3c_all_taps",
+    "stage_gain",
+    "train_cdln",
+]

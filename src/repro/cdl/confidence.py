@@ -1,0 +1,196 @@
+"""Confidence policies and the activation module.
+
+The paper's activation module (the triangles in Fig. 3(b)) terminates
+classification at a stage when the stage's linear classifier "produce[s]
+sufficient confidence associated with only one label", and forwards the
+input otherwise -- including the case where *more than one* label looks
+confident (Section II, the two bulleted criteria; Algorithm 2, steps 3-4).
+
+Three interchangeable policies quantify "confidence":
+
+* :class:`MaxProbabilityPolicy` -- softmax the scores; confidence is the
+  top probability; ambiguity is more than one probability above δ.  This
+  is the paper's default reading ("class probabilities").
+* :class:`MarginPolicy` -- confidence is top1 - top2 probability
+  ("distance from the decision boundary" reading).
+* :class:`ScoreThresholdPolicy` -- squash each score through a sigmoid
+  independently; terminate only when exactly one squashed score clears δ.
+  Closest to a literal multi-label reading of the criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import Sigmoid, Softmax
+from repro.utils.validation import check_fraction
+
+_SOFTMAX = Softmax()
+_SIGMOID = Sigmoid()
+
+
+@dataclass(frozen=True)
+class ConfidenceAssessment:
+    """Per-input verdict of a confidence policy."""
+
+    #: Predicted label per input, ``(N,)``.
+    labels: np.ndarray
+    #: Scalar confidence per input, ``(N,)``.
+    confidence: np.ndarray
+    #: True where the input may terminate at this stage, ``(N,)``.
+    terminate: np.ndarray
+
+
+class ConfidencePolicy:
+    """Base class: maps raw classifier scores to termination decisions."""
+
+    name = "confidence"
+
+    def assess(
+        self, scores: np.ndarray, delta: float, *, scores_are_probabilities: bool = False
+    ) -> ConfidenceAssessment:
+        raise NotImplementedError
+
+    def _probs(self, scores: np.ndarray, scores_are_probabilities: bool) -> np.ndarray:
+        if scores_are_probabilities:
+            return scores
+        return _SOFTMAX.forward(scores)
+
+
+class MaxProbabilityPolicy(ConfidencePolicy):
+    """Terminate when the top class probability clears δ and no second
+    class does (the paper's two criteria on class probabilities)."""
+
+    name = "max_probability"
+
+    def assess(self, scores, delta, *, scores_are_probabilities=False):
+        delta = check_fraction(delta, "delta")
+        probs = self._probs(scores, scores_are_probabilities)
+        labels = probs.argmax(axis=1)
+        confidence = probs.max(axis=1)
+        num_confident = (probs >= delta).sum(axis=1)
+        terminate = (confidence >= delta) & (num_confident == 1)
+        return ConfidenceAssessment(labels, confidence, terminate)
+
+
+class MarginPolicy(ConfidencePolicy):
+    """Terminate when (top1 - top2) probability margin clears δ
+    ("distance from the decision boundary")."""
+
+    name = "margin"
+
+    def assess(self, scores, delta, *, scores_are_probabilities=False):
+        delta = check_fraction(delta, "delta")
+        probs = self._probs(scores, scores_are_probabilities)
+        if probs.shape[1] < 2:
+            raise ConfigurationError("margin policy needs >= 2 classes")
+        part = np.partition(probs, -2, axis=1)
+        margin = part[:, -1] - part[:, -2]
+        labels = probs.argmax(axis=1)
+        return ConfidenceAssessment(labels, margin, margin >= delta)
+
+
+class ScoreThresholdPolicy(ConfidencePolicy):
+    """Squash each score independently (sigmoid) and terminate only when
+    exactly one squashed score clears δ -- a literal multi-label reading
+    of the paper's ambiguity criterion."""
+
+    name = "score_threshold"
+
+    def assess(self, scores, delta, *, scores_are_probabilities=False):
+        delta = check_fraction(delta, "delta")
+        if scores_are_probabilities:
+            squashed = scores
+        else:
+            squashed = _SIGMOID.forward(scores)
+        labels = squashed.argmax(axis=1)
+        confidence = squashed.max(axis=1)
+        num_confident = (squashed >= delta).sum(axis=1)
+        terminate = num_confident == 1
+        return ConfidenceAssessment(labels, confidence, terminate)
+
+
+class AmbiguityPolicy(ConfidencePolicy):
+    """Terminate unless *multiple* classes clear δ (ambiguity-only rule).
+
+    This reading drops the paper's "sufficient confidence" requirement and
+    keeps only the "more than one confident label" forwarding criterion.
+    Raising δ then monotonically increases early exits -- which is the only
+    reading consistent with Fig. 10's monotonically decreasing OPS at high
+    δ, at the cost of weak-evidence exits (the accuracy collapse the paper
+    describes beyond the peak).  Offered for the confidence-policy
+    ablation; the default remains the two-criterion rule.
+    """
+
+    name = "ambiguity"
+
+    def assess(self, scores, delta, *, scores_are_probabilities=False):
+        delta = check_fraction(delta, "delta")
+        if scores_are_probabilities:
+            squashed = scores
+        else:
+            squashed = _SIGMOID.forward(scores)
+        labels = squashed.argmax(axis=1)
+        confidence = squashed.max(axis=1)
+        num_confident = (squashed >= delta).sum(axis=1)
+        terminate = num_confident <= 1
+        return ConfidenceAssessment(labels, confidence, terminate)
+
+
+_REGISTRY: dict[str, type[ConfidencePolicy]] = {
+    cls.name: cls
+    for cls in (
+        MaxProbabilityPolicy,
+        MarginPolicy,
+        ScoreThresholdPolicy,
+        AmbiguityPolicy,
+    )
+}
+
+
+def get_confidence_policy(spec: str | ConfidencePolicy) -> ConfidencePolicy:
+    """Resolve a policy by name or pass an instance through."""
+    if isinstance(spec, ConfidencePolicy):
+        return spec
+    try:
+        return _REGISTRY[spec]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown confidence policy {spec!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+class ActivationModule:
+    """The stage-gating unit: a confidence policy plus the runtime knob δ.
+
+    δ "can be adjusted during runtime to achieve the best tradeoff between
+    accuracy and efficiency" (Section III.B); pass ``delta=...`` to
+    :meth:`decide` to override the stored default per call.
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.5,
+        policy: str | ConfidencePolicy = "score_threshold",
+    ) -> None:
+        self.delta = check_fraction(delta, "delta")
+        self.policy = get_confidence_policy(policy)
+
+    def decide(
+        self,
+        scores: np.ndarray,
+        delta: float | None = None,
+        *,
+        scores_are_probabilities: bool = False,
+    ) -> ConfidenceAssessment:
+        """Assess a batch of stage scores with the module's policy."""
+        effective = self.delta if delta is None else check_fraction(delta, "delta")
+        return self.policy.assess(
+            scores, effective, scores_are_probabilities=scores_are_probabilities
+        )
+
+    def __repr__(self) -> str:
+        return f"ActivationModule(delta={self.delta}, policy={self.policy.name!r})"

@@ -1,0 +1,251 @@
+"""Stage-admission gain analysis (Eq. 1 / Algorithm 1, steps 8-10).
+
+Two gain notions live here:
+
+* :func:`stage_gain` / :func:`evaluate_stage_gains` -- the paper's literal
+  step-9 formula ``G_i = (gamma_base - gamma_i) * Cl_i - gamma_i *
+  (I_i - Cl_i)`` with cumulative per-stage costs.  Kept as a diagnostic:
+  taken literally it can reject a stage whose *cumulative* cost exceeds
+  the baseline even when the stage still lowers the cascade's average
+  cost (because upstream classifier overhead is sunk for every input that
+  reaches the stage).
+* :func:`admit_stages` -- the *marginal* (leave-one-out) criterion the
+  admission actually uses: a stage is kept iff removing it would increase
+  the cascade's measured average OPS by more than ``epsilon``.  This is
+  the economically consistent version of the paper's criterion and it
+  reproduces the paper's own empirical Fig. 9 outcome (O1-O2 beats both
+  O1 alone and O1-O2-O3 for the 8-layer network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cdl.network import CDLN
+from repro.errors import ConfigurationError
+from repro.utils.tables import AsciiTable
+
+
+# ---------------------------------------------------------------------------
+# The paper's literal formula (diagnostic)
+# ---------------------------------------------------------------------------
+def stage_gain(
+    gamma_base: float, gamma_stage: float, classified: int, reached: int
+) -> float:
+    """Evaluate the paper's G_i for one stage (per-instance costs in OPS).
+
+    Parameters
+    ----------
+    gamma_base:
+        Cost of the full baseline classifier per instance.
+    gamma_stage:
+        Cumulative cost of exiting at this stage per instance.
+    classified:
+        Number of instances the stage terminated (``Cl_i``).
+    reached:
+        Number of instances that reached the stage (``I_i``).
+    """
+    if reached < classified or classified < 0:
+        raise ConfigurationError(
+            f"need 0 <= classified <= reached, got {classified}, {reached}"
+        )
+    saved = (gamma_base - gamma_stage) * classified
+    penalty = gamma_stage * (reached - classified)
+    return float(saved - penalty)
+
+
+@dataclass(frozen=True)
+class StageGain:
+    """Literal-formula gain diagnostics for one linear stage."""
+
+    stage_name: str
+    gain: float
+    reached: int
+    classified: int
+    gamma_stage: float
+    gamma_base: float
+
+    @property
+    def classified_fraction(self) -> float:
+        return self.classified / self.reached if self.reached else 0.0
+
+
+def evaluate_stage_gains(
+    cdln: CDLN,
+    images: np.ndarray,
+    labels: np.ndarray | None = None,
+    delta: float | None = None,
+) -> list[StageGain]:
+    """Measure the paper's literal G_i for every linear stage of ``cdln``.
+
+    ``labels`` are unused by the criterion itself (it is purely a cost/flow
+    argument) but accepted for interface symmetry.
+    """
+    result = cdln.predict(images, delta=delta)
+    costs = result.costs
+    gamma_base = float(costs.baseline_cost.total)
+    exit_totals = costs.exit_totals()
+    gains: list[StageGain] = []
+    reached = images.shape[0]
+    for stage_idx, stage in enumerate(cdln.stages):
+        if stage.is_final:
+            break
+        classified = int(np.sum(result.exit_stages == stage_idx))
+        gains.append(
+            StageGain(
+                stage_name=stage.name,
+                gain=stage_gain(
+                    gamma_base, float(exit_totals[stage_idx]), classified, reached
+                ),
+                reached=reached,
+                classified=classified,
+                gamma_stage=float(exit_totals[stage_idx]),
+                gamma_base=gamma_base,
+            )
+        )
+        reached -= classified
+    return gains
+
+
+# ---------------------------------------------------------------------------
+# Marginal (leave-one-out) admission
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MarginalGain:
+    """Measured effect of one stage on the cascade's average OPS."""
+
+    stage_name: str
+    #: Average OPS per input with the stage present.
+    ops_with: float
+    #: Average OPS per input with the stage removed.
+    ops_without: float
+    kept: bool
+
+    @property
+    def gain(self) -> float:
+        """OPS per input the stage saves (positive = worth keeping)."""
+        return self.ops_without - self.ops_with
+
+
+@dataclass
+class AdmissionResult:
+    """Outcome of gain-based stage admission."""
+
+    kept: list[str] = field(default_factory=list)
+    dropped: list[str] = field(default_factory=list)
+    diagnostics: list[MarginalGain] = field(default_factory=list)
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["stage", "avg OPS with", "avg OPS without", "gain / input", "verdict"],
+            title="Stage admission (marginal gain)",
+        )
+        for diag in self.diagnostics:
+            table.add_row(
+                [
+                    diag.stage_name,
+                    int(diag.ops_with),
+                    int(diag.ops_without),
+                    int(diag.gain),
+                    "keep" if diag.kept else "drop",
+                ]
+            )
+        return table.render()
+
+
+def _average_ops(cdln: CDLN, images: np.ndarray, delta: float | None) -> float:
+    result = cdln.predict(images, delta=delta)
+    return float(result.costs.exit_totals()[result.exit_stages].mean())
+
+
+def admit_stages(
+    cdln: CDLN,
+    images: np.ndarray,
+    *,
+    epsilon: float = 0.0,
+    delta: float | None = None,
+    keep_first: bool = True,
+) -> AdmissionResult:
+    """Drop linear stages whose marginal gain does not exceed ``epsilon``.
+
+    Greedy leave-one-out: measure, for each droppable stage, the cascade's
+    average OPS with and without it on the calibration batch ``images``;
+    remove the stage with the worst (lowest) marginal gain if that gain is
+    <= ``epsilon``; repeat until every surviving stage earns its place.
+    ``keep_first`` preserves stage 1 unconditionally, matching the paper's
+    "from [the] second CNN layer or stage onwards" wording.  ``cdln`` is
+    modified in place.
+    """
+    result = AdmissionResult()
+    while True:
+        droppable = cdln.linear_stages[1:] if keep_first else list(cdln.linear_stages)
+        if not droppable:
+            break
+        current = _average_ops(cdln, images, delta)
+        trials: list[MarginalGain] = []
+        for stage in droppable:
+            names_without = [
+                s.name for s in cdln.linear_stages if s.name != stage.name
+            ]
+            trial = cdln.clone_with_stages(names_without)
+            trials.append(
+                MarginalGain(
+                    stage_name=stage.name,
+                    ops_with=current,
+                    ops_without=_average_ops(trial, images, delta),
+                    kept=True,
+                )
+            )
+        worst = min(trials, key=lambda t: t.gain)
+        if worst.gain > epsilon:
+            break
+        cdln.drop_stage(worst.stage_name)
+        result.diagnostics.append(
+            MarginalGain(
+                stage_name=worst.stage_name,
+                ops_with=worst.ops_with,
+                ops_without=worst.ops_without,
+                kept=False,
+            )
+        )
+    # Record the survivors' final diagnostics.
+    final = _average_ops(cdln, images, delta)
+    for stage in cdln.linear_stages:
+        names_without = [s.name for s in cdln.linear_stages if s.name != stage.name]
+        if names_without or not keep_first:
+            without = _average_ops(cdln.clone_with_stages(names_without), images, delta)
+        else:
+            without = float(
+                cdln.clone_with_stages([]).predict(images, delta=delta)
+                .costs.baseline_cost.total
+            )
+        result.diagnostics.append(
+            MarginalGain(
+                stage_name=stage.name, ops_with=final, ops_without=without, kept=True
+            )
+        )
+    result.kept = [s.name for s in cdln.linear_stages]
+    result.dropped = [d.stage_name for d in result.diagnostics if not d.kept]
+    return result
+
+
+def render_gain_table(gains: list[StageGain]) -> str:
+    """ASCII table of the literal-formula diagnostics."""
+    table = AsciiTable(
+        ["stage", "reached", "classified", "fraction", "gamma_i", "gain G_i"],
+        title="Stage gains (paper's literal Eq. 1 formula)",
+    )
+    for g in gains:
+        table.add_row(
+            [
+                g.stage_name,
+                g.reached,
+                g.classified,
+                round(g.classified_fraction, 3),
+                int(g.gamma_stage),
+                round(g.gain, 1),
+            ]
+        )
+    return table.render()

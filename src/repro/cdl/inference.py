@@ -1,0 +1,121 @@
+"""Single-instance conditional inference with a full trace (Algorithm 2).
+
+:func:`classify_instance` walks one input through the cascade and records
+every stage's scores, confidence and decision.  It is the literal
+transcription of Algorithm 2 and powers the Table IV example gallery; the
+batched production path lives in :meth:`repro.cdl.network.CDLN.predict`
+(the two are tested against each other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cdl.network import CDLN
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class StageDecision:
+    """What one stage saw and decided for one input."""
+
+    stage_name: str
+    label: int
+    confidence: float
+    terminated: bool
+    scores: np.ndarray
+
+
+@dataclass(frozen=True)
+class InstanceTrace:
+    """Complete record of one input's path through the cascade."""
+
+    label: int
+    exit_stage: int
+    exit_stage_name: str
+    decisions: list[StageDecision] = field(default_factory=list)
+
+    @property
+    def stages_executed(self) -> int:
+        return len(self.decisions)
+
+
+def classify_instance(
+    cdln: CDLN, image: np.ndarray, delta: float | None = None
+) -> InstanceTrace:
+    """Algorithm 2 for a single test instance, with a per-stage trace.
+
+    Parameters
+    ----------
+    cdln:
+        A fitted CDLN.
+    image:
+        One sample shaped like the baseline input, with or without the
+        leading batch axis.
+    delta:
+        Runtime confidence threshold (defaults to the activation module's).
+    """
+    cdln._require_fitted()
+    expected = cdln.baseline.input_shape
+    if image.shape == expected:
+        batch = image[None, ...]
+    elif image.shape == (1, *expected):
+        batch = image
+    else:
+        raise ShapeError(
+            f"image must have shape {expected} or (1, {expected}), got {image.shape}"
+        )
+
+    decisions: list[StageDecision] = []
+    activation = batch
+    cursor = 0
+    for stage_idx, stage in enumerate(cdln.stages):
+        if stage.is_final:
+            out = cdln.baseline.run_segment(activation, cursor, None)
+            verdict = cdln.activation_module.decide(
+                out,
+                delta,
+                scores_are_probabilities=cdln._final_outputs_are_probabilities(),
+            )
+            decisions.append(
+                StageDecision(
+                    stage_name=stage.name,
+                    label=int(verdict.labels[0]),
+                    confidence=float(verdict.confidence[0]),
+                    terminated=True,
+                    scores=out[0].copy(),
+                )
+            )
+            return InstanceTrace(
+                label=int(verdict.labels[0]),
+                exit_stage=stage_idx,
+                exit_stage_name=stage.name,
+                decisions=decisions,
+            )
+        stop = stage.attach_index + 1
+        activation = cdln.baseline.run_segment(activation, cursor, stop)
+        cursor = stop
+        scores = stage.classifier.confidence_scores(activation.reshape(1, -1))
+        verdict = cdln.activation_module.decide(
+            scores, delta, scores_are_probabilities=True
+        )
+        terminated = bool(verdict.terminate[0])
+        decisions.append(
+            StageDecision(
+                stage_name=stage.name,
+                label=int(verdict.labels[0]),
+                confidence=float(verdict.confidence[0]),
+                terminated=terminated,
+                scores=scores[0].copy(),
+            )
+        )
+        if terminated:
+            return InstanceTrace(
+                label=int(verdict.labels[0]),
+                exit_stage=stage_idx,
+                exit_stage_name=stage.name,
+                decisions=decisions,
+            )
+    raise AssertionError("cascade must always end at the final stage")

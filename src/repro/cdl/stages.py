@@ -1,0 +1,61 @@
+"""Stage descriptors for the CDL cascade.
+
+A stage is either a *linear-classifier stage* (a tap into the baseline at
+``attach_index`` feeding a :class:`~repro.cdl.linear_classifier.LinearClassifier`)
+or the *final stage* (the baseline's own fully connected head), which
+classifies everything that reaches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdl.linear_classifier import LinearClassifier
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Stage:
+    """One stage of the cascade.
+
+    Attributes
+    ----------
+    name:
+        Display name; the paper's convention is ``O1, O2, ...`` for linear
+        stages and ``FC`` for the final stage.
+    attach_index:
+        Index of the baseline layer whose *output* feeds this stage's
+        classifier (typically a pooling layer, per the paper's Tables I/II).
+        ``None`` for the final stage.
+    classifier:
+        The stage's linear classifier; ``None`` for the final stage.
+    is_final:
+        True for the baseline's fully connected head.
+    """
+
+    name: str
+    attach_index: int | None = None
+    classifier: LinearClassifier | None = None
+    is_final: bool = False
+
+    def __post_init__(self) -> None:
+        if self.is_final:
+            if self.attach_index is not None or self.classifier is not None:
+                raise ConfigurationError(
+                    "the final stage uses the baseline head; it takes no "
+                    "attach_index or classifier"
+                )
+        else:
+            if self.attach_index is None or self.attach_index < 0:
+                raise ConfigurationError(
+                    f"linear stage {self.name!r} needs a non-negative attach_index"
+                )
+            if self.classifier is None:
+                raise ConfigurationError(
+                    f"linear stage {self.name!r} needs a LinearClassifier"
+                )
+
+    def __repr__(self) -> str:
+        if self.is_final:
+            return f"Stage({self.name!r}, final)"
+        return f"Stage({self.name!r}, attach_index={self.attach_index})"

@@ -1,0 +1,32 @@
+"""Dataset substrate: synthetic MNIST-like digits plus a real-MNIST loader.
+
+The paper evaluates on MNIST.  This offline reproduction generates an
+MNIST-like dataset from parametric stroke glyphs (:mod:`repro.data.glyphs`)
+rasterized at 28x28 (:mod:`repro.data.rasterize`) with a controllable
+difficulty spectrum (:mod:`repro.data.augment`).  If the real MNIST IDX
+files are available locally, :func:`repro.data.idx.load_mnist` reads them
+with the identical :class:`~repro.data.dataset.DigitDataset` interface.
+"""
+
+from repro.data.augment import AugmentationParams, augment_image
+from repro.data.dataset import DigitDataset, train_test_split
+from repro.data.glyphs import DIGIT_GLYPHS, glyph_strokes
+from repro.data.rasterize import rasterize_strokes
+from repro.data.synthetic_mnist import (
+    SyntheticMnistConfig,
+    generate_synthetic_mnist,
+    make_dataset_pair,
+)
+
+__all__ = [
+    "AugmentationParams",
+    "DIGIT_GLYPHS",
+    "DigitDataset",
+    "SyntheticMnistConfig",
+    "augment_image",
+    "generate_synthetic_mnist",
+    "glyph_strokes",
+    "make_dataset_pair",
+    "rasterize_strokes",
+    "train_test_split",
+]

@@ -1,0 +1,150 @@
+"""Synthetic MNIST-like digit generation.
+
+Each sample is produced by (1) picking a digit class, (2) drawing a
+per-sample difficulty from a Beta distribution shaped so that most samples
+are easy and a tail is hard -- the skew the paper exploits, (3) scaling
+the class's intrinsic style variability into the sample difficulty,
+(4) jittering and rasterizing the stroke glyph, and (5) applying
+raster-space distortions.  The per-sample difficulty is recorded in the
+dataset so experiments can stratify by it (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.augment import AugmentationParams, augment_image, transform_strokes
+from repro.data.dataset import DigitDataset
+from repro.data.glyphs import DIGIT_STYLE_VARIABILITY, glyph_strokes
+from repro.data.rasterize import IMAGE_SIZE, rasterize_strokes
+from repro.errors import ConfigurationError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class SyntheticMnistConfig:
+    """Generation parameters.
+
+    Attributes
+    ----------
+    image_size:
+        Canvas side (28 matches MNIST and the paper's Tables I/II).
+    difficulty_alpha, difficulty_beta:
+        Beta-distribution shape for per-sample difficulty.  Combined with
+        the per-class variability multipliers the default Beta(1.4, 1.8)
+        yields mostly-easy samples with a genuinely hard tail (trained
+        baselines land near the paper's 97.5 % accuracy), the regime CDL
+        is designed for.
+    base_thickness, base_softness:
+        Pen geometry passed to the rasterizer.
+    class_variability:
+        Per-digit multiplier applied to the drawn difficulty; defaults to
+        the glyph-complexity-derived table in :mod:`repro.data.glyphs`.
+    augmentation:
+        Maximum distortion magnitudes (reached at difficulty 1).
+    """
+
+    image_size: int = IMAGE_SIZE
+    difficulty_alpha: float = 1.4
+    difficulty_beta: float = 1.8
+    base_thickness: float = 0.055
+    base_softness: float = 0.04
+    class_variability: dict[int, float] = field(
+        default_factory=lambda: dict(DIGIT_STYLE_VARIABILITY)
+    )
+    augmentation: AugmentationParams = field(default_factory=AugmentationParams)
+
+    def __post_init__(self) -> None:
+        if self.difficulty_alpha <= 0 or self.difficulty_beta <= 0:
+            raise ConfigurationError("Beta shape parameters must be > 0")
+        if set(self.class_variability) != set(range(10)):
+            raise ConfigurationError("class_variability must cover digits 0..9")
+
+
+def render_digit(
+    digit: int,
+    difficulty: float,
+    config: SyntheticMnistConfig,
+    rng: int | np.random.Generator | None,
+) -> np.ndarray:
+    """Render one ``(image_size, image_size)`` sample of ``digit``."""
+    rng = ensure_rng(rng)
+    params = config.augmentation
+    strokes = transform_strokes(glyph_strokes(digit), difficulty, params, rng)
+    thickness = config.base_thickness * (
+        1.0 + rng.uniform(-1, 1) * params.max_thickness_jitter * difficulty
+    )
+    thickness = max(thickness, 0.02)
+    image = rasterize_strokes(
+        strokes,
+        size=config.image_size,
+        thickness=thickness,
+        softness=config.base_softness,
+    )
+    return augment_image(image, difficulty, params, rng)
+
+
+def generate_synthetic_mnist(
+    num_samples: int,
+    *,
+    config: SyntheticMnistConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+    class_balance: np.ndarray | None = None,
+    name: str = "synthetic-mnist",
+) -> DigitDataset:
+    """Generate a difficulty-annotated synthetic digit dataset.
+
+    Parameters
+    ----------
+    num_samples:
+        Total sample count (classes drawn from ``class_balance``).
+    class_balance:
+        Optional length-10 probability vector; uniform by default.
+    """
+    num_samples = check_positive_int(num_samples, "num_samples")
+    config = config or SyntheticMnistConfig()
+    rng = ensure_rng(rng)
+    if class_balance is None:
+        class_balance = np.full(10, 0.1)
+    class_balance = np.asarray(class_balance, dtype=np.float64)
+    if class_balance.shape != (10,) or class_balance.min() < 0 or class_balance.sum() <= 0:
+        raise ConfigurationError("class_balance must be 10 non-negative weights")
+    class_balance = class_balance / class_balance.sum()
+
+    labels = rng.choice(10, size=num_samples, p=class_balance).astype(np.int64)
+    raw_difficulty = rng.beta(
+        config.difficulty_alpha, config.difficulty_beta, size=num_samples
+    )
+    variability = np.array([config.class_variability[d] for d in range(10)])
+    difficulty = np.clip(raw_difficulty * variability[labels], 0.0, 1.0)
+
+    images = np.empty((num_samples, 1, config.image_size, config.image_size))
+    for i in range(num_samples):
+        images[i, 0] = render_digit(int(labels[i]), float(difficulty[i]), config, rng)
+    return DigitDataset(
+        images=images,
+        labels=labels,
+        difficulty=difficulty,
+        name=name,
+    )
+
+
+def make_dataset_pair(
+    num_train: int,
+    num_test: int,
+    *,
+    config: SyntheticMnistConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[DigitDataset, DigitDataset]:
+    """Generate disjoint train/test datasets from one seed."""
+    rng = ensure_rng(rng)
+    train = generate_synthetic_mnist(
+        num_train, config=config, rng=rng, name="synthetic-mnist-train"
+    )
+    test = generate_synthetic_mnist(
+        num_test, config=config, rng=rng, name="synthetic-mnist-test"
+    )
+    return train, test

@@ -1,0 +1,41 @@
+"""Hardware energy model: the stand-in for the paper's RTL synthesis flow.
+
+The paper implemented each classifier at RTL, synthesized it to an IBM 45 nm
+SOI process with Synopsys Design Compiler and measured energy with Power
+Compiler.  Offline we replace that flow with:
+
+* :mod:`repro.energy.technology` -- a per-operation energy table for a 45 nm
+  process (published ISSCC figures);
+* :mod:`repro.energy.models` -- op-weighted network/layer energy, including
+  memory traffic;
+* :mod:`repro.energy.rtl` -- a synthesis-like estimator producing gate
+  counts, area, and power (the Design Compiler substitute).
+
+The paper reports that its measured energy ratios track its operation-count
+ratios closely (1.91x OPS -> 1.84x energy for MNIST_3C); an op-weighted
+model reproduces exactly that relation, including the memory-access
+overhead that makes the energy gain slightly smaller than the OPS gain.
+"""
+
+from repro.energy.models import (
+    ConditionalEnergyProfile,
+    layer_energy,
+    network_energy,
+    opcount_energy,
+)
+from repro.energy.report import EnergyReport
+from repro.energy.rtl import SynthesisReport, synthesize_layer, synthesize_network
+from repro.energy.technology import TECHNOLOGY_45NM, TechnologyModel
+
+__all__ = [
+    "ConditionalEnergyProfile",
+    "EnergyReport",
+    "SynthesisReport",
+    "TECHNOLOGY_45NM",
+    "TechnologyModel",
+    "layer_energy",
+    "network_energy",
+    "opcount_energy",
+    "synthesize_layer",
+    "synthesize_network",
+]

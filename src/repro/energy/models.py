@@ -1,0 +1,140 @@
+"""Energy models built on operation counts.
+
+Energy for a layer is its arithmetic energy plus its memory traffic:
+
+* every MAC fetches one weight word (SRAM read);
+* every output element is written once (SRAM write) and every input element
+  is read once per consuming layer (folded into the MAC weight fetch for
+  conv/dense; pooling and activations read their inputs explicitly);
+* a leakage/clock overhead multiplies the total.
+
+These choices follow the standard accelerator energy breakdown and
+reproduce the paper's observation that energy gains (Fig. 6) are slightly
+below OPS gains (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Layer
+from repro.nn.network import Network
+from repro.ops.counting import OpCount, count_layer_ops
+from repro.ops.profile import ConditionalOpsProfile, PathCostTable
+from repro.energy.technology import TECHNOLOGY_45NM, TechnologyModel
+
+
+def opcount_energy(ops: OpCount, tech: TechnologyModel = TECHNOLOGY_45NM) -> float:
+    """Energy (pJ) of an operation bundle, including weight-fetch traffic.
+
+    Each MAC is charged its arithmetic energy plus one SRAM weight read;
+    comparisons/adds/activations are charged arithmetic only (their operands
+    are freshly produced activations held in local registers).  Leakage
+    overhead is applied multiplicatively.
+    """
+    dynamic = (
+        ops.macs * (tech.mac_pj + tech.sram_read_pj)
+        + ops.adds * tech.add_pj
+        + ops.comparisons * tech.compare_pj
+        + ops.activations * tech.activation_pj
+    )
+    return dynamic * (1.0 + tech.leakage_overhead)
+
+
+def layer_energy(layer: Layer, tech: TechnologyModel = TECHNOLOGY_45NM) -> float:
+    """Energy (pJ) of one input through ``layer``, including the write-back
+    of its output activations."""
+    ops = count_layer_ops(layer)
+    elements = 1
+    for d in layer.output_shape:
+        elements *= d
+    write_back = elements * tech.sram_write_pj * (1.0 + tech.leakage_overhead)
+    return opcount_energy(ops, tech) + write_back
+
+
+def network_energy(network: Network, tech: TechnologyModel = TECHNOLOGY_45NM) -> float:
+    """Energy (pJ) of a full forward pass for one input."""
+    return float(sum(layer_energy(layer, tech) for layer in network.layers))
+
+
+@dataclass(frozen=True)
+class ConditionalEnergyProfile:
+    """Per-input energy for a conditionally executed batch.
+
+    Mirrors :class:`~repro.ops.profile.ConditionalOpsProfile`, but in
+    picojoules: each exit stage's :class:`OpCount` is converted to energy
+    through the technology model.
+    """
+
+    per_input_pj: np.ndarray
+    exit_stages: np.ndarray
+    labels: np.ndarray
+    baseline_pj: float
+    technology: TechnologyModel
+    #: Fixed per-input cost paid regardless of exit depth (input buffering,
+    #: result write-out).  Both the baseline and the conditional network pay
+    #: it, which is why measured energy gains sit slightly below OPS gains.
+    fixed_overhead_pj: float = 0.0
+
+    def __post_init__(self) -> None:
+        n = self.per_input_pj.shape[0]
+        if self.exit_stages.shape != (n,) or self.labels.shape != (n,):
+            raise ConfigurationError("profile arrays must share one length")
+        if self.baseline_pj <= 0:
+            raise ConfigurationError("baseline energy must be > 0")
+
+    @property
+    def average_pj(self) -> float:
+        return float(self.per_input_pj.mean())
+
+    @property
+    def energy_improvement(self) -> float:
+        """Baseline energy / conditional energy (the paper's "1.84x")."""
+        return self.baseline_pj / self.average_pj
+
+    @property
+    def normalized_energy(self) -> float:
+        return self.average_pj / self.baseline_pj
+
+    def per_digit_average_pj(self, num_classes: int = 10) -> np.ndarray:
+        out = np.full(num_classes, np.nan)
+        for digit in range(num_classes):
+            mask = self.labels == digit
+            if mask.any():
+                out[digit] = float(self.per_input_pj[mask].mean())
+        return out
+
+    def per_digit_improvement(self, num_classes: int = 10) -> np.ndarray:
+        """Baseline/conditional energy ratio per digit (Fig. 6 bars)."""
+        return self.baseline_pj / self.per_digit_average_pj(num_classes)
+
+    @staticmethod
+    def from_ops_profile(
+        profile: ConditionalOpsProfile,
+        tech: TechnologyModel = TECHNOLOGY_45NM,
+        *,
+        fixed_overhead_pj: float = 0.0,
+    ) -> "ConditionalEnergyProfile":
+        """Convert an OPS profile to energy through a technology model.
+
+        ``fixed_overhead_pj`` is added to every input's energy *and* to the
+        baseline's (e.g. input-image buffering), compressing the energy
+        ratio slightly below the OPS ratio as real measurements show.
+        """
+        if fixed_overhead_pj < 0:
+            raise ConfigurationError("fixed_overhead_pj must be >= 0")
+        costs: PathCostTable = profile.costs
+        exit_pj = np.array(
+            [opcount_energy(c, tech) for c in costs.exit_costs], dtype=np.float64
+        )
+        return ConditionalEnergyProfile(
+            per_input_pj=exit_pj[profile.exit_stages] + fixed_overhead_pj,
+            exit_stages=profile.exit_stages,
+            labels=profile.labels,
+            baseline_pj=opcount_energy(costs.baseline_cost, tech) + fixed_overhead_pj,
+            technology=tech,
+            fixed_overhead_pj=fixed_overhead_pj,
+        )

@@ -1,0 +1,46 @@
+"""Combined energy reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.network import Network
+from repro.energy.models import network_energy
+from repro.energy.rtl import SynthesisReport, synthesize_network
+from repro.energy.technology import TECHNOLOGY_45NM, TechnologyModel
+from repro.ops.counting import network_total_ops
+from repro.utils.tables import AsciiTable
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """One network's cost summary: OPS, energy, and synthesis estimates."""
+
+    name: str
+    total_ops: int
+    energy_pj: float
+    synthesis: SynthesisReport
+
+    @staticmethod
+    def for_network(
+        network: Network,
+        name: str = "network",
+        tech: TechnologyModel = TECHNOLOGY_45NM,
+    ) -> "EnergyReport":
+        return EnergyReport(
+            name=name,
+            total_ops=network_total_ops(network),
+            energy_pj=network_energy(network, tech),
+            synthesis=synthesize_network(network, tech, name=name),
+        )
+
+    def render(self) -> str:
+        table = AsciiTable(["metric", "value"], title=f"Energy report: {self.name}")
+        table.add_row(["OPS / input", self.total_ops])
+        table.add_row(["energy / input (pJ)", round(self.energy_pj, 1)])
+        table.add_row(["gate count (NAND2-eq)", self.synthesis.gate_count])
+        table.add_row(["area (um^2)", round(self.synthesis.area_um2, 1)])
+        table.add_row(["dynamic power (mW)", round(self.synthesis.dynamic_mw, 3)])
+        table.add_row(["leakage power (mW)", round(self.synthesis.leakage_mw, 3)])
+        table.add_row(["cycles / input", self.synthesis.cycles_per_input])
+        return table.render()

@@ -1,0 +1,145 @@
+"""Synthesis-like area/power estimation (the Design Compiler substitute).
+
+The paper synthesized each classifier to IBM 45 nm SOI with Synopsys Design
+Compiler and estimated power with Power Compiler.  This module provides an
+analytic stand-in: for each layer it sizes a datapath (MAC/compare units +
+weight SRAM), converts it to NAND2-equivalent gate counts and area, and
+derives dynamic and leakage power at the technology's nominal operating
+point.  The absolute numbers are first-order, but the *relative* numbers
+between classifiers -- all the evaluation uses -- follow the same geometry
+scaling a real synthesis run would show.
+
+Gate-count assumptions (16-bit datapath, standard textbook figures):
+a 16x16 array multiplier ~ 2900 NAND2, a 16-bit ripple adder ~ 90 NAND2,
+a 16-bit comparator ~ 80 NAND2, a 16-bit register ~ 110 NAND2, SRAM
+~ 1.6 NAND2-equivalents per bit including periphery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Layer, MaxPool2D
+from repro.nn.network import Network
+from repro.ops.counting import count_layer_ops
+from repro.energy.models import layer_energy
+from repro.energy.technology import TECHNOLOGY_45NM, TechnologyModel
+
+_GATES_MULTIPLIER = 2900
+_GATES_ADDER = 90
+_GATES_COMPARATOR = 80
+_GATES_REGISTER = 110
+_GATES_PER_SRAM_BIT = 1.6
+_WORD_BITS = 16
+#: Leakage per NAND2-equivalent at 45 nm, nanowatts.
+_LEAKAGE_NW_PER_GATE = 2.0
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Synthesis-style summary for one block (layer) or a whole design."""
+
+    name: str
+    gate_count: int
+    area_um2: float
+    sram_bits: int
+    dynamic_mw: float
+    leakage_mw: float
+    cycles_per_input: int
+    energy_per_input_pj: float
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.dynamic_mw + self.leakage_mw
+
+    def merged(self, other: "SynthesisReport", name: str) -> "SynthesisReport":
+        """Combine two block reports into one design-level report."""
+        return SynthesisReport(
+            name=name,
+            gate_count=self.gate_count + other.gate_count,
+            area_um2=self.area_um2 + other.area_um2,
+            sram_bits=self.sram_bits + other.sram_bits,
+            dynamic_mw=self.dynamic_mw + other.dynamic_mw,
+            leakage_mw=self.leakage_mw + other.leakage_mw,
+            cycles_per_input=self.cycles_per_input + other.cycles_per_input,
+            energy_per_input_pj=self.energy_per_input_pj + other.energy_per_input_pj,
+        )
+
+
+def _datapath_gates(layer: Layer) -> tuple[int, int]:
+    """(arithmetic gates, SRAM bits) for a layer's hardware block.
+
+    Conv/dense blocks get one MAC lane per output map (a modest spatial
+    unrolling) plus weight SRAM; pooling gets one comparator/adder tree per
+    map.
+    """
+    if isinstance(layer, Conv2D):
+        lanes = layer.num_maps
+        gates = lanes * (_GATES_MULTIPLIER + _GATES_ADDER + _GATES_REGISTER)
+        weights = layer.num_params
+        return gates, weights * _WORD_BITS
+    if isinstance(layer, Dense):
+        lanes = min(layer.units, 16)
+        gates = lanes * (_GATES_MULTIPLIER + _GATES_ADDER + _GATES_REGISTER)
+        weights = layer.num_params
+        return gates, weights * _WORD_BITS
+    if isinstance(layer, MaxPool2D):
+        maps = layer.output_shape[0]
+        return maps * (_GATES_COMPARATOR + _GATES_REGISTER), 0
+    if isinstance(layer, AvgPool2D):
+        maps = layer.output_shape[0]
+        return maps * (_GATES_ADDER + _GATES_REGISTER), 0
+    # Flatten/activation/dropout: wiring plus a small LUT.
+    return _GATES_REGISTER, 0
+
+
+def synthesize_layer(
+    layer: Layer, tech: TechnologyModel = TECHNOLOGY_45NM
+) -> SynthesisReport:
+    """Estimate gates/area/power for one layer's hardware block."""
+    if not layer.built:
+        raise ConfigurationError(f"layer {layer.name!r} must be built first")
+    arithmetic_gates, sram_bits = _datapath_gates(layer)
+    gate_count = arithmetic_gates + int(sram_bits * _GATES_PER_SRAM_BIT)
+    area = gate_count * tech.gate_area_um2
+    energy_pj = layer_energy(layer, tech)
+
+    ops = count_layer_ops(layer)
+    # One MAC (or comparison/add) per lane per cycle.
+    lanes = max(arithmetic_gates // (_GATES_MULTIPLIER + _GATES_ADDER + _GATES_REGISTER), 1)
+    work = max(ops.macs, ops.adds + ops.comparisons)
+    cycles = max(int(work / lanes), 1)
+    seconds_per_input = cycles / (tech.frequency_mhz * 1e6)
+    dynamic_mw = energy_pj * 1e-12 / seconds_per_input * 1e3
+    leakage_mw = gate_count * _LEAKAGE_NW_PER_GATE * 1e-6
+    return SynthesisReport(
+        name=layer.name,
+        gate_count=gate_count,
+        area_um2=area,
+        sram_bits=sram_bits,
+        dynamic_mw=dynamic_mw,
+        leakage_mw=leakage_mw,
+        cycles_per_input=cycles,
+        energy_per_input_pj=energy_pj,
+    )
+
+
+def synthesize_network(
+    network: Network, tech: TechnologyModel = TECHNOLOGY_45NM, name: str = "design"
+) -> SynthesisReport:
+    """Estimate a whole network as one integrated design."""
+    reports = [synthesize_layer(layer, tech) for layer in network.layers]
+    merged = reports[0]
+    for rep in reports[1:]:
+        merged = merged.merged(rep, name)
+    return SynthesisReport(
+        name=name,
+        gate_count=merged.gate_count,
+        area_um2=merged.area_um2,
+        sram_bits=merged.sram_bits,
+        dynamic_mw=merged.dynamic_mw,
+        leakage_mw=merged.leakage_mw,
+        cycles_per_input=merged.cycles_per_input,
+        energy_per_input_pj=merged.energy_per_input_pj,
+    )

@@ -1,0 +1,98 @@
+"""Process technology constants.
+
+Per-operation energies follow the widely used 45 nm figures published by
+M. Horowitz, "Computing's energy problem (and what we can do about it)",
+ISSCC 2014, for a ~0.9 V 45 nm process -- the same node as the paper's
+IBM 45 nm SOI flow.  Values are in picojoules per operation on 16-bit
+fixed-point data (the natural hardware datatype for these small nets;
+relative ratios, which are all the reproduction asserts, are insensitive
+to the exact width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Per-operation energy (pJ) and basic physical constants of a node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node label.
+    mult_pj, add_pj, compare_pj, activation_pj:
+        Arithmetic energies.  A MAC spends ``mult_pj + add_pj``.
+        Activations are modelled as a small piecewise/LUT unit.
+    sram_read_pj, sram_write_pj:
+        On-chip buffer access energies per word (weights, activations).
+    leakage_overhead:
+        Fraction added to dynamic energy to account for leakage plus
+        clocking of idle logic.  This is what makes measured energy gains
+        slightly smaller than pure OPS gains, as the paper observes.
+    gate_area_um2:
+        Average placed NAND2-equivalent area, for the synthesis estimator.
+    voltage_v, frequency_mhz:
+        Nominal operating point used by the power estimator.
+    """
+
+    name: str = "generic-45nm"
+    mult_pj: float = 1.0
+    add_pj: float = 0.05
+    compare_pj: float = 0.05
+    activation_pj: float = 0.10
+    sram_read_pj: float = 1.2
+    sram_write_pj: float = 1.4
+    leakage_overhead: float = 0.08
+    gate_area_um2: float = 1.06
+    voltage_v: float = 0.9
+    frequency_mhz: float = 500.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "mult_pj",
+            "add_pj",
+            "compare_pj",
+            "activation_pj",
+            "sram_read_pj",
+            "sram_write_pj",
+            "gate_area_um2",
+            "voltage_v",
+            "frequency_mhz",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"{field_name} must be > 0")
+        if not 0 <= self.leakage_overhead < 1:
+            raise ConfigurationError("leakage_overhead must be in [0, 1)")
+
+    @property
+    def mac_pj(self) -> float:
+        """Energy of one multiply-accumulate."""
+        return self.mult_pj + self.add_pj
+
+    def scaled_voltage(self, voltage_v: float) -> "TechnologyModel":
+        """Return a copy operating at ``voltage_v`` with E ~ V^2 scaling."""
+        if voltage_v <= 0:
+            raise ConfigurationError(f"voltage must be > 0, got {voltage_v}")
+        ratio = (voltage_v / self.voltage_v) ** 2
+        return TechnologyModel(
+            name=f"{self.name}@{voltage_v:.2f}V",
+            mult_pj=self.mult_pj * ratio,
+            add_pj=self.add_pj * ratio,
+            compare_pj=self.compare_pj * ratio,
+            activation_pj=self.activation_pj * ratio,
+            sram_read_pj=self.sram_read_pj * ratio,
+            sram_write_pj=self.sram_write_pj * ratio,
+            leakage_overhead=self.leakage_overhead,
+            gate_area_um2=self.gate_area_um2,
+            voltage_v=voltage_v,
+            frequency_mhz=self.frequency_mhz,
+        )
+
+
+#: Default 45 nm model (16-bit datapath; Horowitz ISSCC'14-derived numbers:
+#: 16b multiply ~1.0 pJ, 16b add ~0.05 pJ, small-SRAM word access ~1.2 pJ).
+TECHNOLOGY_45NM = TechnologyModel(name="ibm45soi-like")

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so downstream code can catch library failures without
+accidentally swallowing programming errors (``TypeError`` and friends are
+still allowed to propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array did not have the shape a layer or model expected."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed or combined with invalid parameters."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model or classifier was used before being trained."""
+
+
+class DataError(ReproError, ValueError):
+    """A dataset is malformed (bad labels, wrong dtype, empty split...)."""
+
+
+class SerializationError(ReproError, RuntimeError):
+    """A model checkpoint could not be written or read back."""

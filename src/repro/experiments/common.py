@@ -1,0 +1,117 @@
+"""Shared experiment infrastructure: scales, dataset/model caching.
+
+Training a baseline takes seconds at bench scale but would dominate every
+figure's runtime if repeated; this module trains each (architecture, taps,
+scale, seed) combination once per process and hands out the cached result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdl.training import CdlTrainingConfig, TrainedCdl, train_cdln
+from repro.cdl.architectures import ARCHITECTURES
+from repro.data.dataset import DigitDataset
+from repro.data.synthetic_mnist import make_dataset_pair
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Dataset/training sizes for an experiment run.
+
+    The paper uses MNIST's 60k/10k split; the presets trade fidelity for
+    runtime so tests run in seconds and benches in minutes.
+    """
+
+    num_train: int = 3000
+    num_test: int = 1000
+    baseline_epochs: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_train, "num_train")
+        check_positive_int(self.num_test, "num_test")
+        check_positive_int(self.baseline_epochs, "baseline_epochs")
+
+    @staticmethod
+    def tiny() -> "Scale":
+        """Unit-test scale: trains in ~2 s, statistically noisy."""
+        return Scale(num_train=400, num_test=200, baseline_epochs=2)
+
+    @staticmethod
+    def small() -> "Scale":
+        """Bench scale (default): paper-shaped results in ~10 s per network.
+
+        Four epochs leaves the baseline slightly under its convergence
+        ceiling -- the same regime as the paper's 97.55 % MNIST baseline,
+        and the regime in which the linear stages' accuracy advantage
+        (Table III) is visible.
+        """
+        return Scale(num_train=3000, num_test=1000, baseline_epochs=4)
+
+    @staticmethod
+    def full() -> "Scale":
+        """Closest to the paper: larger splits, longer training."""
+        return Scale(num_train=12000, num_test=4000, baseline_epochs=8)
+
+
+_dataset_cache: dict[tuple, tuple[DigitDataset, DigitDataset]] = {}
+_trained_cache: dict[tuple, TrainedCdl] = {}
+
+
+def clear_cache() -> None:
+    """Drop every cached dataset and trained model (mainly for tests)."""
+    _dataset_cache.clear()
+    _trained_cache.clear()
+
+
+def get_datasets(scale: Scale, seed: int = 0) -> tuple[DigitDataset, DigitDataset]:
+    """Train/test synthetic-MNIST pair for ``(scale, seed)``, cached."""
+    key = (scale.num_train, scale.num_test, seed)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = make_dataset_pair(
+            scale.num_train, scale.num_test, rng=seed
+        )
+    return _dataset_cache[key]
+
+
+def get_trained(
+    architecture: str,
+    scale: Scale,
+    seed: int = 0,
+    *,
+    attach: str = "paper",
+    gain_epsilon: float | None = 0.0,
+    delta: float = 0.6,
+) -> TrainedCdl:
+    """A trained baseline + CDLN for an architecture, cached per process.
+
+    Parameters
+    ----------
+    attach:
+        ``"paper"`` uses the architecture's Table I/II tap points and runs
+        gain admission; ``"all"`` taps every pooling layer and skips
+        admission (the configuration the stage-sweep figures need).
+    """
+    if architecture not in ARCHITECTURES:
+        raise ConfigurationError(
+            f"unknown architecture {architecture!r}; available: {sorted(ARCHITECTURES)}"
+        )
+    if attach not in ("paper", "all"):
+        raise ConfigurationError(f"attach must be 'paper' or 'all', got {attach!r}")
+    key = (architecture, scale, seed, attach, gain_epsilon, delta)
+    if key not in _trained_cache:
+        train, _test = get_datasets(scale, seed)
+        spec = ARCHITECTURES[architecture]
+        taps = spec.attach_indices if attach == "paper" else spec.all_tap_indices
+        config = CdlTrainingConfig(
+            architecture=architecture,
+            baseline_epochs=scale.baseline_epochs,
+            delta=delta,
+            gain_epsilon=gain_epsilon if attach == "paper" else None,
+        )
+        _trained_cache[key] = train_cdln(
+            train, config=config, attach_indices=taps, rng=seed + 1
+        )
+    return _trained_cache[key]

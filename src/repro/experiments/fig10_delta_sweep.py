@@ -1,0 +1,75 @@
+"""Fig. 10: the efficiency/accuracy tradeoff under the confidence knob δ.
+
+The paper sweeps δ for MNIST_3C: at low δ many stages look ambiguous (or
+terminate on weak evidence), so OPS is high and accuracy suffers; raising
+δ both reduces OPS and raises accuracy until an interior accuracy peak
+(δ = 0.5 in the paper: 99.02 %, normalized OPS 0.51), beyond which
+accuracy degrades while OPS keeps shrinking or saturates.  δ is a pure
+runtime knob -- no retraining happens anywhere in this sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdl.statistics import evaluate_cdln
+from repro.experiments.common import Scale, get_datasets, get_trained
+from repro.utils.tables import AsciiTable
+
+DEFAULT_DELTAS = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Accuracy and normalized OPS per δ."""
+
+    deltas: np.ndarray
+    accuracies: np.ndarray
+    normalized_ops: np.ndarray
+    best_delta: float
+    baseline_accuracy_reference: float
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["delta", "accuracy (%)", "normalized OPS"],
+            title="Fig. 10 -- efficiency vs accuracy tradeoff (MNIST_3C)",
+        )
+        for delta, acc, ops in zip(self.deltas, self.accuracies, self.normalized_ops):
+            marker = " <- accuracy peak" if delta == self.best_delta else ""
+            table.add_row(
+                [f"{delta:.2f}{marker}", round(float(acc) * 100, 2), round(float(ops), 3)]
+            )
+        footer = (
+            "paper: accuracy 96.12% (delta=0.4) peaks 99.02% (delta=0.5) then "
+            "falls; OPS shrinks from 1.1 to 0.51 across the same range"
+        )
+        return table.render() + "\n" + footer
+
+
+def run(
+    scale: Scale | None = None,
+    seed: int = 0,
+    deltas: tuple[float, ...] = DEFAULT_DELTAS,
+) -> Fig10Result:
+    """Sweep δ over the admitted MNIST_3C cascade."""
+    scale = scale or Scale.small()
+    _train, test = get_datasets(scale, seed)
+    trained = get_trained("mnist_3c", scale, seed)
+    accuracies: list[float] = []
+    normalized: list[float] = []
+    for delta in deltas:
+        ev = evaluate_cdln(trained.cdln, test, delta=delta)
+        accuracies.append(ev.accuracy)
+        normalized.append(ev.normalized_ops)
+    accuracies_arr = np.array(accuracies)
+    from repro.cdl.statistics import evaluate_baseline_accuracy
+
+    return Fig10Result(
+        deltas=np.array(deltas),
+        accuracies=accuracies_arr,
+        normalized_ops=np.array(normalized),
+        best_delta=float(deltas[int(np.argmax(accuracies_arr))]),
+        baseline_accuracy_reference=evaluate_baseline_accuracy(trained.cdln, test),
+    )

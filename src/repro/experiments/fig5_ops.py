@@ -1,0 +1,60 @@
+"""Fig. 5: normalized OPS improvement per digit for both CDLNs.
+
+The paper reports MNIST_2C at 1.46x-1.99x (avg 1.73x) and MNIST_3C at
+1.50x-2.32x (avg 1.91x), with digit 1 benefiting most and digit 5 least.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdl.statistics import evaluate_cdln
+from repro.experiments.common import Scale, get_datasets, get_trained
+from repro.utils.tables import AsciiBarChart, AsciiTable
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Per-digit OPS improvement for both architectures."""
+
+    improvement_2c: np.ndarray
+    improvement_3c: np.ndarray
+    average_2c: float
+    average_3c: float
+    delta: float
+
+    def render(self) -> str:
+        parts = ["Fig. 5 -- normalized OPS improvement vs baseline (per digit)"]
+        table = AsciiTable(["digit", "MNIST_2C", "MNIST_3C"])
+        for digit in range(10):
+            table.add_row(
+                [digit, round(float(self.improvement_2c[digit]), 2),
+                 round(float(self.improvement_3c[digit]), 2)]
+            )
+        table.add_row(["avg", round(self.average_2c, 2), round(self.average_3c, 2)])
+        parts.append(table.render())
+        chart = AsciiBarChart("MNIST_3C OPS improvement by digit")
+        for digit in range(10):
+            chart.add_bar(str(digit), float(self.improvement_3c[digit]))
+        parts.append(chart.render())
+        parts.append(
+            f"paper: avg 1.73x (2C), 1.91x (3C); max on digit 1, min on digit 5"
+        )
+        return "\n\n".join(parts)
+
+
+def run(scale: Scale | None = None, seed: int = 0, delta: float = 0.6) -> Fig5Result:
+    """Evaluate both CDLNs on the test set and aggregate per-digit OPS."""
+    scale = scale or Scale.small()
+    _train, test = get_datasets(scale, seed)
+    ev_2c = evaluate_cdln(get_trained("mnist_2c", scale, seed).cdln, test, delta=delta)
+    ev_3c = evaluate_cdln(get_trained("mnist_3c", scale, seed).cdln, test, delta=delta)
+    return Fig5Result(
+        improvement_2c=ev_2c.per_digit_ops_improvement(),
+        improvement_3c=ev_3c.per_digit_ops_improvement(),
+        average_2c=ev_2c.ops_improvement,
+        average_3c=ev_3c.ops_improvement,
+        delta=delta,
+    )

@@ -1,0 +1,67 @@
+"""Fig. 6: normalized energy improvement per digit for both CDLNs.
+
+The paper's RTL flow measured 1.71x (MNIST_2C) and 1.84x (MNIST_3C) average
+energy reduction -- slightly below the corresponding OPS reductions because
+fixed overheads are paid regardless of exit depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdl.statistics import evaluate_cdln
+from repro.experiments.common import Scale, get_datasets, get_trained
+from repro.utils.tables import AsciiBarChart, AsciiTable
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Per-digit energy improvement for both architectures."""
+
+    improvement_2c: np.ndarray
+    improvement_3c: np.ndarray
+    average_2c: float
+    average_3c: float
+    ops_average_2c: float
+    ops_average_3c: float
+    delta: float
+
+    def render(self) -> str:
+        parts = ["Fig. 6 -- normalized energy improvement vs baseline (per digit)"]
+        table = AsciiTable(["digit", "MNIST_2C", "MNIST_3C"])
+        for digit in range(10):
+            table.add_row(
+                [digit, round(float(self.improvement_2c[digit]), 2),
+                 round(float(self.improvement_3c[digit]), 2)]
+            )
+        table.add_row(["avg", round(self.average_2c, 2), round(self.average_3c, 2)])
+        parts.append(table.render())
+        chart = AsciiBarChart("MNIST_3C energy improvement by digit")
+        for digit in range(10):
+            chart.add_bar(str(digit), float(self.improvement_3c[digit]))
+        parts.append(chart.render())
+        parts.append(
+            "paper: avg 1.71x (2C), 1.84x (3C); energy gain tracks just below "
+            f"OPS gain (ours: OPS {self.ops_average_2c:.2f}/{self.ops_average_3c:.2f}, "
+            f"energy {self.average_2c:.2f}/{self.average_3c:.2f})"
+        )
+        return "\n\n".join(parts)
+
+
+def run(scale: Scale | None = None, seed: int = 0, delta: float = 0.6) -> Fig6Result:
+    """Evaluate both CDLNs and aggregate per-digit energy improvements."""
+    scale = scale or Scale.small()
+    _train, test = get_datasets(scale, seed)
+    ev_2c = evaluate_cdln(get_trained("mnist_2c", scale, seed).cdln, test, delta=delta)
+    ev_3c = evaluate_cdln(get_trained("mnist_3c", scale, seed).cdln, test, delta=delta)
+    return Fig6Result(
+        improvement_2c=ev_2c.per_digit_energy_improvement(),
+        improvement_3c=ev_3c.per_digit_energy_improvement(),
+        average_2c=ev_2c.energy_improvement,
+        average_3c=ev_3c.energy_improvement,
+        ops_average_2c=ev_2c.ops_improvement,
+        ops_average_3c=ev_3c.ops_improvement,
+        delta=delta,
+    )

@@ -1,0 +1,72 @@
+"""Fig. 7: accuracy of the CDLN as output layers are added one at a time.
+
+The paper adds O1, then O2, then O3 to the 8-layer baseline and observes a
+monotone accuracy improvement: 97.55 % (baseline) -> 97.65 % (O1-FC) ->
+up to 98.92 % with all three linear classifiers, with the fraction of
+inputs misclassified by the final layer progressively decreasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdl.statistics import evaluate_baseline_accuracy, evaluate_cdln
+from repro.experiments.common import Scale, get_datasets, get_trained
+from repro.utils.tables import AsciiTable
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Accuracy per stage-count configuration of MNIST_3C."""
+
+    configurations: tuple[str, ...]
+    accuracies: np.ndarray
+    baseline_accuracy: float
+    final_stage_fractions: np.ndarray
+    delta: float
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["configuration", "accuracy (%)", "normalized", "fraction to FC"],
+            title="Fig. 7 -- accuracy vs number of output layers (MNIST_3C)",
+        )
+        table.add_row(["baseline (FC only)", round(self.baseline_accuracy * 100, 2),
+                       1.0, 1.0])
+        for name, acc, frac in zip(
+            self.configurations, self.accuracies, self.final_stage_fractions
+        ):
+            table.add_row(
+                [name, round(float(acc) * 100, 2),
+                 round(float(acc) / self.baseline_accuracy, 4),
+                 round(float(frac), 3)]
+            )
+        footer = "paper: 97.55 (baseline) -> 97.65 (O1-FC) -> 98.92 (O1-O2-O3-FC)"
+        return table.render() + "\n" + footer
+
+
+def run(scale: Scale | None = None, seed: int = 0, delta: float = 0.6) -> Fig7Result:
+    """Evaluate MNIST_3C cascades with 1, 2 and 3 linear stages."""
+    scale = scale or Scale.small()
+    _train, test = get_datasets(scale, seed)
+    trained = get_trained("mnist_3c", scale, seed, attach="all")
+    cdln = trained.cdln
+    all_names = [s.name for s in cdln.linear_stages]
+    configurations: list[str] = []
+    accuracies: list[float] = []
+    fc_fractions: list[float] = []
+    for count in range(1, len(all_names) + 1):
+        subset = all_names[:count]
+        trial = cdln.clone_with_stages(subset)
+        ev = evaluate_cdln(trial, test, delta=delta)
+        configurations.append("-".join(subset) + "-FC")
+        accuracies.append(ev.accuracy)
+        fc_fractions.append(float(ev.stage_exit_fractions()[-1]))
+    return Fig7Result(
+        configurations=tuple(configurations),
+        accuracies=np.array(accuracies),
+        baseline_accuracy=evaluate_baseline_accuracy(cdln, test),
+        final_stage_fractions=np.array(fc_fractions),
+        delta=delta,
+    )

@@ -1,0 +1,74 @@
+"""Fig. 9: normalized OPS as the number of output stages grows.
+
+The paper sweeps MNIST_3C from O1-FC to O1-O2-O3-FC: the fraction of
+inputs passed to FC collapses (42 % -> 5 % -> 3 %) so OPS first drops, but
+the third stage's overhead outweighs its marginal traffic reduction, so
+OPS rises again -- a break-even at two stages (0.45 normalized OPS).
+This interior minimum is what the gain-based admission automates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cdl.statistics import evaluate_cdln
+from repro.experiments.common import Scale, get_datasets, get_trained
+from repro.utils.tables import AsciiTable
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Normalized OPS and FC traffic per stage-count configuration."""
+
+    configurations: tuple[str, ...]
+    normalized_ops: np.ndarray
+    fc_fractions: np.ndarray
+    best_configuration: str
+    delta: float
+
+    @property
+    def break_even_stage_count(self) -> int:
+        """Number of linear stages at the OPS minimum."""
+        return int(np.argmin(self.normalized_ops)) + 1
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["configuration", "normalized OPS", "fraction to FC"],
+            title="Fig. 9 -- normalized OPS vs number of stages (MNIST_3C)",
+        )
+        for name, ops, frac in zip(
+            self.configurations, self.normalized_ops, self.fc_fractions
+        ):
+            marker = " <- break-even" if name == self.best_configuration else ""
+            table.add_row([name + marker, round(float(ops), 3), round(float(frac), 3)])
+        footer = (
+            "paper: FC fraction 42% -> 5% -> 3%; OPS minimum (0.45) at O1-O2-FC"
+        )
+        return table.render() + "\n" + footer
+
+
+def run(scale: Scale | None = None, seed: int = 0, delta: float = 0.6) -> Fig9Result:
+    """Sweep MNIST_3C cascades with 1..3 linear stages and measure OPS."""
+    scale = scale or Scale.small()
+    _train, test = get_datasets(scale, seed)
+    cdln = get_trained("mnist_3c", scale, seed, attach="all").cdln
+    all_names = [s.name for s in cdln.linear_stages]
+    configurations: list[str] = []
+    normalized: list[float] = []
+    fc_fractions: list[float] = []
+    for count in range(1, len(all_names) + 1):
+        subset = all_names[:count]
+        ev = evaluate_cdln(cdln.clone_with_stages(subset), test, delta=delta)
+        configurations.append("-".join(subset) + "-FC")
+        normalized.append(ev.normalized_ops)
+        fc_fractions.append(float(ev.stage_exit_fractions()[-1]))
+    best = configurations[int(np.argmin(normalized))]
+    return Fig9Result(
+        configurations=tuple(configurations),
+        normalized_ops=np.array(normalized),
+        fc_fractions=np.array(fc_fractions),
+        best_configuration=best,
+        delta=delta,
+    )

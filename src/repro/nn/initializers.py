@@ -1,0 +1,123 @@
+"""Weight initializers.
+
+Each initializer is a small callable object: ``init(shape, rng)`` returns a
+float64 array.  ``fan_in``/``fan_out`` are derived from the shape using the
+usual convention (dense: ``(out, in)``; conv: ``(out_maps, in_maps, k, k)``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import ensure_rng
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        out_dim, in_dim = shape
+        return in_dim, out_dim
+    # Convolution kernels: (out_maps, in_maps, kh, kw)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+class Initializer:
+    """Base class; subclasses implement :meth:`__call__`."""
+
+    name = "initializer"
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator | int | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Zeros(Initializer):
+    """All-zero initialization (used for biases)."""
+
+    name = "zeros"
+
+    def __call__(self, shape, rng=None) -> np.ndarray:
+        return np.zeros(shape, dtype=np.float64)
+
+
+class Constant(Initializer):
+    """Constant-fill initialization."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def __call__(self, shape, rng=None) -> np.ndarray:
+        return np.full(shape, self.value, dtype=np.float64)
+
+
+class GlorotUniform(Initializer):
+    """Glorot/Xavier uniform: U(+-sqrt(6 / (fan_in + fan_out)))."""
+
+    name = "glorot_uniform"
+
+    def __call__(self, shape, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        fan_in, fan_out = _fans(shape)
+        limit = math.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class GlorotNormal(Initializer):
+    """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
+
+    name = "glorot_normal"
+
+    def __call__(self, shape, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        fan_in, fan_out = _fans(shape)
+        std = math.sqrt(2.0 / (fan_in + fan_out))
+        return rng.normal(0.0, std, size=shape)
+
+
+class HeNormal(Initializer):
+    """He normal: N(0, 2 / fan_in); suited to ReLU layers."""
+
+    name = "he_normal"
+
+    def __call__(self, shape, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        fan_in, _ = _fans(shape)
+        return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+
+
+class LecunNormal(Initializer):
+    """LeCun normal: N(0, 1 / fan_in); suited to sigmoid/tanh layers."""
+
+    name = "lecun_normal"
+
+    def __call__(self, shape, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        fan_in, _ = _fans(shape)
+        return rng.normal(0.0, math.sqrt(1.0 / fan_in), size=shape)
+
+
+_REGISTRY: dict[str, type[Initializer]] = {
+    cls.name: cls
+    for cls in (Zeros, Constant, GlorotUniform, GlorotNormal, HeNormal, LecunNormal)
+}
+
+
+def get_initializer(spec: str | Initializer) -> Initializer:
+    """Resolve an initializer by name or pass an instance through."""
+    if isinstance(spec, Initializer):
+        return spec
+    try:
+        return _REGISTRY[spec]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown initializer {spec!r}; available: {sorted(_REGISTRY)}"
+        ) from None

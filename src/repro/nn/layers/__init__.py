@@ -1,0 +1,21 @@
+"""Neural-network layers with forward and backward passes."""
+
+from repro.nn.layers.activation import ActivationLayer
+from repro.nn.layers.base import Layer, layer_from_config
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D
+
+__all__ = [
+    "ActivationLayer",
+    "AvgPool2D",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "MaxPool2D",
+    "layer_from_config",
+]

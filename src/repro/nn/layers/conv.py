@@ -1,0 +1,121 @@
+"""2-D convolution layer (valid padding by default, stride 1).
+
+The paper's architectures (Tables I and II) use only valid, stride-1
+convolutions; padding and stride are nevertheless supported because the
+framework is a general substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.activations import Activation, get_activation
+from repro.nn.initializers import Initializer, get_initializer
+from repro.nn.layers.base import Layer, register_layer
+from repro.nn.tensor_ops import col2im, conv_output_size, im2col
+
+
+@register_layer
+class Conv2D(Layer):
+    """Convolution with ``num_maps`` output feature maps.
+
+    Parameters
+    ----------
+    num_maps:
+        Number of output feature maps (kernels).
+    kernel:
+        Square kernel side length.
+    stride, padding:
+        Window step and symmetric zero padding.
+    activation:
+        Name or instance of the activation fused into this layer (the
+        paper's recipe [19] fuses a sigmoid into each convolution).
+    weight_init, bias_init:
+        Initializers; the default (Glorot uniform) suits sigmoid nets.
+    """
+
+    def __init__(
+        self,
+        num_maps: int,
+        kernel: int,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        activation: str | Activation = "sigmoid",
+        weight_init: str | Initializer = "glorot_uniform",
+        bias_init: str | Initializer = "zeros",
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        if num_maps < 1 or kernel < 1 or stride < 1 or padding < 0:
+            raise ShapeError(
+                f"invalid Conv2D geometry: num_maps={num_maps} kernel={kernel} "
+                f"stride={stride} padding={padding}"
+            )
+        self.num_maps = int(num_maps)
+        self.kernel = int(kernel)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.activation = get_activation(activation)
+        self.weight_init = get_initializer(weight_init)
+        self.bias_init = get_initializer(bias_init)
+        self._cache: dict[str, Any] = {}
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 3:
+            raise ShapeError(
+                f"Conv2D expects (C, H, W) input, got shape {input_shape}"
+            )
+        c, h, w = input_shape
+        h_out = conv_output_size(h, self.kernel, self.stride, self.padding)
+        w_out = conv_output_size(w, self.kernel, self.stride, self.padding)
+        self.params = {
+            "weight": self.weight_init((self.num_maps, c, self.kernel, self.kernel), rng),
+            "bias": self.bias_init((self.num_maps,), rng),
+        }
+        self.zero_grads()
+        return self._mark_built(input_shape, (self.num_maps, h_out, w_out))
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        n = x.shape[0]
+        _, h_out, w_out = self.output_shape
+        cols = im2col(x, self.kernel, self.stride, self.padding)
+        w_flat = self.params["weight"].reshape(self.num_maps, -1)
+        pre = cols @ w_flat.T + self.params["bias"]
+        pre = pre.reshape(n, h_out, w_out, self.num_maps).transpose(0, 3, 1, 2)
+        out = self.activation.forward(pre)
+        if training:
+            self._cache = {"cols": cols, "output": out, "batch": n}
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise ShapeError(
+                f"backward() on {self.name!r} without a preceding training forward()"
+            )
+        cols = self._cache["cols"]
+        out = self._cache["output"]
+        n = self._cache["batch"]
+        grad = self.activation.backward(grad, out)
+        # (N, M, Ho, Wo) -> rows aligned with im2col ordering.
+        grad_rows = grad.transpose(0, 2, 3, 1).reshape(-1, self.num_maps)
+        w_flat = self.params["weight"].reshape(self.num_maps, -1)
+        self.grads["weight"] = (grad_rows.T @ cols).reshape(self.params["weight"].shape)
+        self.grads["bias"] = grad_rows.sum(axis=0)
+        grad_cols = grad_rows @ w_flat
+        x_shape = (n, *self.input_shape)
+        return col2im(grad_cols, x_shape, self.kernel, self.stride, self.padding)
+
+    def get_config(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "num_maps": self.num_maps,
+            "kernel": self.kernel,
+            "stride": self.stride,
+            "padding": self.padding,
+            "activation": self.activation.name,
+        }

@@ -1,0 +1,36 @@
+"""Flatten layer: ``(N, C, H, W)`` (or any rank) to ``(N, D)``.
+
+This is the "concatenate the CNN features into a 1-D vector" step of the
+paper's Algorithm 1 (step 6), shared by the baseline's fully connected head
+and the CDL linear classifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, register_layer
+
+
+@register_layer
+class Flatten(Layer):
+    """Reshape every sample to a 1-D feature vector."""
+
+    def build(self, input_shape, rng):
+        dim = 1
+        for d in input_shape:
+            dim *= int(d)
+        return self._mark_built(input_shape, (dim,))
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self._require_built()
+        return grad.reshape(grad.shape[0], *self.input_shape)
+
+    def get_config(self) -> dict[str, Any]:
+        return {"name": self.name}

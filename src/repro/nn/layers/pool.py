@@ -1,0 +1,124 @@
+"""Pooling layers: max pooling (the paper's choice) and average pooling
+(the variant used by the MATLAB toolbox the paper trained with).
+
+Windows are non-overlapping by default (``stride == window``) and a window
+of 1 degenerates to the identity, which Table II's P3 stage (3x3 in, 3x3
+out) relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer, register_layer
+from repro.nn.tensor_ops import conv_output_size, sliding_windows
+
+
+class _Pool2D(Layer):
+    """Shared geometry handling for max/avg pooling."""
+
+    def __init__(self, window: int, *, stride: int | None = None, name: str | None = None) -> None:
+        super().__init__(name)
+        if window < 1:
+            raise ShapeError(f"pool window must be >= 1, got {window}")
+        self.window = int(window)
+        self.stride = int(stride) if stride is not None else self.window
+        if self.stride < 1:
+            raise ShapeError(f"pool stride must be >= 1, got {stride}")
+        self._cache: dict[str, Any] = {}
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 3:
+            raise ShapeError(f"pooling expects (C, H, W) input, got {input_shape}")
+        c, h, w = input_shape
+        h_out = conv_output_size(h, self.window, self.stride)
+        w_out = conv_output_size(w, self.window, self.stride)
+        return self._mark_built(input_shape, (c, h_out, w_out))
+
+    def get_config(self) -> dict[str, Any]:
+        return {"name": self.name, "window": self.window, "stride": self.stride}
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        c, h_out, w_out = self.output_shape
+        view = sliding_windows(x, self.window, self.stride)
+        return view.reshape(n, c, h_out, w_out, self.window * self.window)
+
+
+@register_layer
+class MaxPool2D(_Pool2D):
+    """Max pooling; the gradient routes to the argmax position per window."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        if self.window == 1 and self.stride == 1:
+            if training:
+                self._cache = {"identity": True}
+            return x
+        flat = self._windows(x)
+        idx = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+        if training:
+            self._cache = {"identity": False, "argmax": idx, "x_shape": x.shape}
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise ShapeError(
+                f"backward() on {self.name!r} without a preceding training forward()"
+            )
+        if self._cache.get("identity"):
+            return grad
+        idx = self._cache["argmax"]
+        n, c, h, w = self._cache["x_shape"]
+        _, h_out, w_out = self.output_shape
+        dx = np.zeros((n, c, h, w), dtype=grad.dtype)
+        # Decompose the flat within-window argmax into row/col offsets.
+        win_r = idx // self.window
+        win_c = idx % self.window
+        rows = (np.arange(h_out) * self.stride)[None, None, :, None] + win_r
+        cols = (np.arange(w_out) * self.stride)[None, None, None, :] + win_c
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        np.add.at(dx, (n_idx, c_idx, rows, cols), grad)
+        return dx
+
+
+@register_layer
+class AvgPool2D(_Pool2D):
+    """Average pooling; the gradient spreads uniformly over each window."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        if self.window == 1 and self.stride == 1:
+            if training:
+                self._cache = {"identity": True}
+            return x
+        out = self._windows(x).mean(axis=-1)
+        if training:
+            self._cache = {"identity": False, "x_shape": x.shape}
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise ShapeError(
+                f"backward() on {self.name!r} without a preceding training forward()"
+            )
+        if self._cache.get("identity"):
+            return grad
+        n, c, h, w = self._cache["x_shape"]
+        _, h_out, w_out = self.output_shape
+        dx = np.zeros((n, c, h, w), dtype=grad.dtype)
+        share = grad / (self.window * self.window)
+        for i in range(self.window):
+            for j in range(self.window):
+                dx[
+                    :,
+                    :,
+                    i : i + self.stride * h_out : self.stride,
+                    j : j + self.stride * w_out : self.stride,
+                ] += share
+        return dx

@@ -1,0 +1,112 @@
+"""Loss functions.
+
+Two losses cover the paper's needs:
+
+* :class:`MeanSquaredError` -- the least-mean-square objective used both for
+  the baseline DLN training recipe [19] and for the LMS ("delta rule")
+  training of the CDL linear classifiers.
+* :class:`SoftmaxCrossEntropy` -- the modern alternative, offered because the
+  library is a general substrate; it fuses softmax with the cross-entropy
+  gradient for numerical stability.
+
+Both operate on integer labels and one-hot targets interchangeably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.tensor_ops import one_hot
+
+
+def _as_targets(labels_or_targets: np.ndarray, num_classes: int) -> np.ndarray:
+    arr = np.asarray(labels_or_targets)
+    if arr.ndim == 1:
+        return one_hot(arr.astype(np.int64), num_classes)
+    if arr.ndim == 2 and arr.shape[1] == num_classes:
+        return arr.astype(np.float64, copy=False)
+    raise ShapeError(
+        f"targets must be (N,) labels or (N, {num_classes}) one-hot, got {arr.shape}"
+    )
+
+
+class Loss:
+    """Base class: ``value`` returns the scalar loss, ``gradient`` dL/d output."""
+
+    name = "loss"
+    #: Activation the final layer should use for this loss to behave well.
+    preferred_output_activation = "identity"
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. the *network output* (post-activation)."""
+        raise NotImplementedError
+
+
+class MeanSquaredError(Loss):
+    """0.5 * mean over batch of the per-sample squared error.
+
+    The 0.5 factor matches the classical delta-rule derivation so the
+    gradient is exactly ``(outputs - targets) / N``.
+    """
+
+    name = "mse"
+    preferred_output_activation = "sigmoid"
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        targets = _as_targets(targets, outputs.shape[1])
+        diff = outputs - targets
+        return float(0.5 * np.sum(diff * diff) / outputs.shape[0])
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        targets = _as_targets(targets, outputs.shape[1])
+        return (outputs - targets) / outputs.shape[0]
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Cross-entropy over a softmax output layer (fused gradient).
+
+    ``value`` expects the network output to already be softmax probabilities
+    (i.e. the final layer uses a ``Softmax`` activation).  ``gradient``
+    returns the *fused* gradient ``(probs - targets) / N`` which must bypass
+    the softmax backward; :class:`repro.nn.network.Network` handles that by
+    checking :attr:`fused_with_softmax`.
+    """
+
+    name = "softmax_cross_entropy"
+    preferred_output_activation = "softmax"
+    fused_with_softmax = True
+
+    def __init__(self, epsilon: float = 1e-12) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        targets = _as_targets(targets, outputs.shape[1])
+        probs = np.clip(outputs, self.epsilon, 1.0)
+        return float(-np.sum(targets * np.log(probs)) / outputs.shape[0])
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        targets = _as_targets(targets, outputs.shape[1])
+        return (outputs - targets) / outputs.shape[0]
+
+
+_REGISTRY: dict[str, type[Loss]] = {
+    cls.name: cls for cls in (MeanSquaredError, SoftmaxCrossEntropy)
+}
+
+
+def get_loss(spec: str | Loss) -> Loss:
+    """Resolve a loss by name or pass an instance through."""
+    if isinstance(spec, Loss):
+        return spec
+    try:
+        return _REGISTRY[spec]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown loss {spec!r}; available: {sorted(_REGISTRY)}"
+        ) from None

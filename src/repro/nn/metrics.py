@@ -1,0 +1,58 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def _check_labels(predicted: np.ndarray, actual: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predicted = np.asarray(predicted).ravel()
+    actual = np.asarray(actual).ravel()
+    if predicted.shape != actual.shape:
+        raise ShapeError(
+            f"predicted and actual label arrays differ: {predicted.shape} vs {actual.shape}"
+        )
+    if predicted.size == 0:
+        raise ShapeError("cannot compute metrics on zero samples")
+    return predicted, actual
+
+
+def accuracy(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Fraction of correctly classified samples."""
+    predicted, actual = _check_labels(predicted, actual)
+    return float(np.mean(predicted == actual))
+
+
+def topk_accuracy(scores: np.ndarray, actual: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true class is within the top-k scores."""
+    scores = np.asarray(scores)
+    actual = np.asarray(actual).ravel()
+    if scores.ndim != 2 or scores.shape[0] != actual.shape[0]:
+        raise ShapeError(
+            f"scores must be (N, classes) aligned with labels; got {scores.shape}"
+        )
+    k = min(int(k), scores.shape[1])
+    topk = np.argpartition(scores, -k, axis=1)[:, -k:]
+    return float(np.mean(np.any(topk == actual[:, None], axis=1)))
+
+
+def confusion_matrix(predicted: np.ndarray, actual: np.ndarray, num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` counts; rows = actual, cols = predicted."""
+    predicted, actual = _check_labels(predicted, actual)
+    if predicted.min() < 0 or predicted.max() >= num_classes:
+        raise ShapeError("predicted labels out of range")
+    if actual.min() < 0 or actual.max() >= num_classes:
+        raise ShapeError("actual labels out of range")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (actual, predicted), 1)
+    return matrix
+
+
+def per_class_accuracy(predicted: np.ndarray, actual: np.ndarray, num_classes: int) -> np.ndarray:
+    """Accuracy restricted to each true class (NaN for absent classes)."""
+    matrix = confusion_matrix(predicted, actual, num_classes)
+    totals = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)

@@ -1,0 +1,84 @@
+"""Model checkpointing.
+
+A network is stored as a single ``.npz`` archive containing a JSON
+architecture header plus one array per parameter.  Loading reconstructs the
+layers through the layer registry, rebuilds the network for its recorded
+input shape, then overwrites the freshly initialized parameters with the
+stored ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.layers.base import layer_from_config
+from repro.nn.network import Network
+
+_HEADER_KEY = "__architecture__"
+_FORMAT_VERSION = 1
+
+
+def save_network(network: Network, path: str | Path) -> Path:
+    """Write ``network`` (architecture + parameters) to ``path`` (.npz)."""
+    path = Path(path)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "input_shape": list(network.input_shape),
+        "layers": network.get_config(),
+    }
+    arrays: dict[str, np.ndarray] = {
+        _HEADER_KEY: np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    }
+    for i, layer in enumerate(network.layers):
+        for key, param in layer.params.items():
+            arrays[f"layer{i}.{key}"] = param
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(path, **arrays)
+    except OSError as exc:
+        raise SerializationError(f"could not write checkpoint to {path}: {exc}") from exc
+    # numpy appends .npz when missing; report the real file.
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def load_network(path: str | Path) -> Network:
+    """Reconstruct a network saved with :func:`save_network`."""
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            if _HEADER_KEY not in archive:
+                raise SerializationError(f"{path} is not a repro checkpoint (no header)")
+            header = json.loads(bytes(archive[_HEADER_KEY].tobytes()).decode("utf-8"))
+            if header.get("format_version") != _FORMAT_VERSION:
+                raise SerializationError(
+                    f"unsupported checkpoint version {header.get('format_version')!r}"
+                )
+            layers = [
+                layer_from_config(entry["class"], entry["config"])
+                for entry in header["layers"]
+            ]
+            network = Network(layers, tuple(header["input_shape"]), rng=0)
+            for i, layer in enumerate(network.layers):
+                for key in layer.params:
+                    stored_key = f"layer{i}.{key}"
+                    if stored_key not in archive:
+                        raise SerializationError(
+                            f"checkpoint {path} missing parameter {stored_key}"
+                        )
+                    stored = archive[stored_key]
+                    if stored.shape != layer.params[key].shape:
+                        raise SerializationError(
+                            f"checkpoint parameter {stored_key} has shape "
+                            f"{stored.shape}, expected {layer.params[key].shape}"
+                        )
+                    layer.params[key] = stored.astype(np.float64)
+                layer.zero_grads()
+    except FileNotFoundError as exc:
+        raise SerializationError(f"checkpoint not found: {path}") from exc
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt checkpoint {path}: {exc}") from exc
+    return network

@@ -1,0 +1,27 @@
+"""Operation counting: the paper's efficiency metric.
+
+The paper "quantif[ies] efficiency as the average number of operations
+(or computations) per input (OPS)".  :mod:`repro.ops.counting` derives
+exact per-layer operation counts from layer geometry;
+:mod:`repro.ops.profile` accumulates them along the conditional execution
+path each input actually took.
+"""
+
+from repro.ops.counting import (
+    OpCount,
+    count_layer_ops,
+    count_network_ops,
+    cumulative_ops,
+    network_total_ops,
+)
+from repro.ops.profile import ConditionalOpsProfile, PathCostTable
+
+__all__ = [
+    "ConditionalOpsProfile",
+    "OpCount",
+    "PathCostTable",
+    "count_layer_ops",
+    "count_network_ops",
+    "cumulative_ops",
+    "network_total_ops",
+]

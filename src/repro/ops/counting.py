@@ -1,0 +1,147 @@
+"""Exact per-layer operation counts.
+
+Counts are for a *single input* (batch size 1) and split by kind so the
+energy model can weight them separately:
+
+* ``macs`` -- multiply-accumulate pairs (convolution kernels, dense rows);
+* ``adds`` -- standalone additions (bias adds, pooling sums, softmax sums);
+* ``comparisons`` -- max-pool and argmax comparisons;
+* ``activations`` -- nonlinearity evaluations (one per activated element).
+
+The scalar "OPS" used throughout the reproduction (and in the paper's
+figures) weights a MAC as two operations (one multiply + one add) and
+everything else as one; see :meth:`OpCount.total`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import Identity, Softmax
+from repro.nn.layers import (
+    ActivationLayer,
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+)
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Operation counts for one input through one layer (or a sum of layers)."""
+
+    macs: int = 0
+    adds: int = 0
+    comparisons: int = 0
+    activations: int = 0
+
+    @property
+    def total(self) -> int:
+        """Scalar OPS: a MAC counts as 2 (multiply + add), the rest as 1."""
+        return 2 * self.macs + self.adds + self.comparisons + self.activations
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            macs=self.macs + other.macs,
+            adds=self.adds + other.adds,
+            comparisons=self.comparisons + other.comparisons,
+            activations=self.activations + other.activations,
+        )
+
+    def scaled(self, factor: float) -> "OpCount":
+        """Scale every count (used for averaging over inputs)."""
+        return OpCount(
+            macs=int(round(self.macs * factor)),
+            adds=int(round(self.adds * factor)),
+            comparisons=int(round(self.comparisons * factor)),
+            activations=int(round(self.activations * factor)),
+        )
+
+    @staticmethod
+    def zero() -> "OpCount":
+        return OpCount()
+
+
+def _activation_ops(layer, elements: int) -> tuple[int, int]:
+    """(activations, extra_adds) for a fused activation over ``elements``."""
+    if isinstance(layer.activation, Identity):
+        return 0, 0
+    if isinstance(layer.activation, Softmax):
+        # exp per element, a shared sum (elements-1 adds) and one divide per
+        # element (counted as an activation-class op).
+        return 2 * elements, max(elements - 1, 0)
+    return elements, 0
+
+
+def count_layer_ops(layer: Layer) -> OpCount:
+    """Operation count of ``layer`` for a single input sample.
+
+    The layer must be built (shapes known).  Dropout and Flatten are free at
+    inference time.
+    """
+    if not layer.built:
+        raise ConfigurationError(
+            f"layer {layer.name!r} must be built before counting ops"
+        )
+    if isinstance(layer, Conv2D):
+        c_in = layer.input_shape[0]
+        maps, h_out, w_out = layer.output_shape
+        elements = maps * h_out * w_out
+        macs = elements * c_in * layer.kernel * layer.kernel
+        acts, extra = _activation_ops(layer, elements)
+        return OpCount(macs=macs, adds=elements + extra, activations=acts)
+    if isinstance(layer, Dense):
+        (d_in,) = layer.input_shape
+        (units,) = layer.output_shape
+        acts, extra = _activation_ops(layer, units)
+        return OpCount(macs=units * d_in, adds=units + extra, activations=acts)
+    if isinstance(layer, MaxPool2D):
+        c, h_out, w_out = layer.output_shape
+        per_window = layer.window * layer.window - 1
+        return OpCount(comparisons=c * h_out * w_out * per_window)
+    if isinstance(layer, AvgPool2D):
+        c, h_out, w_out = layer.output_shape
+        per_window = layer.window * layer.window - 1
+        # Sum plus one scale per window (the divide counted as an add-class op).
+        return OpCount(adds=c * h_out * w_out * (per_window + 1))
+    if isinstance(layer, ActivationLayer):
+        elements = 1
+        for d in layer.output_shape:
+            elements *= d
+        acts, extra = _activation_ops(layer, elements)
+        return OpCount(adds=extra, activations=acts)
+    if isinstance(layer, (Flatten, Dropout)):
+        return OpCount.zero()
+    raise ConfigurationError(
+        f"no op-count rule for layer type {type(layer).__name__}"
+    )
+
+
+def count_network_ops(network: Network) -> list[OpCount]:
+    """Per-layer op counts for one input."""
+    return [count_layer_ops(layer) for layer in network.layers]
+
+
+def cumulative_ops(network: Network, upto: int | None = None) -> OpCount:
+    """Total ops of layers ``[0, upto)`` (whole network when ``upto`` is None)."""
+    counts = count_network_ops(network)
+    upto = len(counts) if upto is None else upto
+    if not 0 <= upto <= len(counts):
+        raise ConfigurationError(
+            f"upto={upto} out of range for a {len(counts)}-layer network"
+        )
+    total = OpCount.zero()
+    for count in counts[:upto]:
+        total = total + count
+    return total
+
+
+def network_total_ops(network: Network) -> int:
+    """Scalar OPS of a full forward pass for one input."""
+    return cumulative_ops(network).total

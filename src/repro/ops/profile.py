@@ -1,0 +1,149 @@
+"""Per-input operation profiles for conditional execution.
+
+A :class:`PathCostTable` precomputes, for every possible exit stage of a
+CDL cascade, the cumulative operation count an input pays when it exits
+there.  :class:`ConditionalOpsProfile` then aggregates a batch of per-input
+exit stages into average OPS, per-digit averages, and normalized savings
+versus the always-run-everything baseline (the quantities plotted in
+Figs. 5, 8 and 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ops.counting import OpCount
+
+
+@dataclass(frozen=True)
+class PathCostTable:
+    """Cumulative cost of exiting at each stage of a cascade.
+
+    Attributes
+    ----------
+    exit_costs:
+        ``exit_costs[s]`` is the :class:`OpCount` an input pays when it
+        terminates at stage ``s`` (backbone segments up to the stage's
+        attach point plus every linear classifier evaluated on the way).
+    baseline_cost:
+        Cost of a full, unconditional forward pass of the baseline network
+        (no linear classifiers).
+    stage_names:
+        Display names aligned with ``exit_costs`` (e.g. ``["O1", "O2", "FC"]``).
+    """
+
+    exit_costs: tuple[OpCount, ...]
+    baseline_cost: OpCount
+    stage_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.exit_costs) != len(self.stage_names):
+            raise ConfigurationError("exit_costs and stage_names must align")
+        if not self.exit_costs:
+            raise ConfigurationError("a cascade needs at least one stage")
+        totals = [c.total for c in self.exit_costs]
+        if any(b < a for a, b in zip(totals, totals[1:])):
+            raise ConfigurationError(
+                "exit costs must be non-decreasing along the cascade"
+            )
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.exit_costs)
+
+    def exit_totals(self) -> np.ndarray:
+        """Scalar OPS per exit stage, ``(num_stages,)``."""
+        return np.array([c.total for c in self.exit_costs], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class ConditionalOpsProfile:
+    """Aggregated OPS statistics for a batch of conditionally executed inputs."""
+
+    #: Scalar OPS paid by each input, ``(N,)``.
+    per_input_ops: np.ndarray
+    #: Stage index at which each input exited, ``(N,)``.
+    exit_stages: np.ndarray
+    #: True labels, ``(N,)`` (used for per-digit aggregation).
+    labels: np.ndarray
+    #: Cost table used to build the profile.
+    costs: PathCostTable
+
+    def __post_init__(self) -> None:
+        n = self.per_input_ops.shape[0]
+        if self.exit_stages.shape != (n,) or self.labels.shape != (n,):
+            raise ConfigurationError("profile arrays must share one length")
+
+    # -- headline numbers ----------------------------------------------------
+    @property
+    def average_ops(self) -> float:
+        """Mean OPS per input (the paper's efficiency metric)."""
+        return float(self.per_input_ops.mean())
+
+    @property
+    def baseline_ops(self) -> float:
+        return float(self.costs.baseline_cost.total)
+
+    @property
+    def normalized_ops(self) -> float:
+        """Average OPS divided by the baseline's (Fig. 9/10 y-axis)."""
+        return self.average_ops / self.baseline_ops
+
+    @property
+    def ops_improvement(self) -> float:
+        """Baseline OPS / CDL OPS -- the paper's "1.91x" style number."""
+        return self.baseline_ops / self.average_ops
+
+    # -- per-digit views -------------------------------------------------------
+    def per_digit_average_ops(self, num_classes: int = 10) -> np.ndarray:
+        """Mean OPS per true class (NaN for classes absent from the batch)."""
+        out = np.full(num_classes, np.nan)
+        for digit in range(num_classes):
+            mask = self.labels == digit
+            if mask.any():
+                out[digit] = float(self.per_input_ops[mask].mean())
+        return out
+
+    def per_digit_improvement(self, num_classes: int = 10) -> np.ndarray:
+        """Baseline/CDL OPS ratio per digit (Fig. 5 bars)."""
+        return self.baseline_ops / self.per_digit_average_ops(num_classes)
+
+    def stage_exit_fractions(self) -> np.ndarray:
+        """Fraction of inputs exiting at each stage, ``(num_stages,)``."""
+        counts = np.bincount(self.exit_stages, minlength=self.costs.num_stages)
+        return counts / max(len(self.exit_stages), 1)
+
+    def final_stage_fraction_per_digit(self, num_classes: int = 10) -> np.ndarray:
+        """Fraction of each digit's inputs that reached the final stage
+        (the "FC activated for 1 % of digit 1" numbers of Fig. 8)."""
+        final = self.costs.num_stages - 1
+        out = np.full(num_classes, np.nan)
+        for digit in range(num_classes):
+            mask = self.labels == digit
+            if mask.any():
+                out[digit] = float(np.mean(self.exit_stages[mask] == final))
+        return out
+
+    @staticmethod
+    def from_exits(
+        exit_stages: np.ndarray, labels: np.ndarray, costs: PathCostTable
+    ) -> "ConditionalOpsProfile":
+        """Build a profile from per-input exit stages and a cost table."""
+        exit_stages = np.asarray(exit_stages, dtype=np.int64)
+        if exit_stages.size and (
+            exit_stages.min() < 0 or exit_stages.max() >= costs.num_stages
+        ):
+            raise ConfigurationError(
+                f"exit stages must lie in [0, {costs.num_stages}), got "
+                f"[{exit_stages.min()}, {exit_stages.max()}]"
+            )
+        totals = costs.exit_totals()
+        return ConditionalOpsProfile(
+            per_input_ops=totals[exit_stages],
+            exit_stages=exit_stages,
+            labels=np.asarray(labels, dtype=np.int64),
+            costs=costs,
+        )

@@ -1,0 +1,20 @@
+"""Small shared utilities: RNG plumbing, validation, ASCII rendering."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tables import AsciiBarChart, AsciiTable, format_float
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability_rows,
+)
+
+__all__ = [
+    "AsciiBarChart",
+    "AsciiTable",
+    "check_fraction",
+    "check_positive_int",
+    "check_probability_rows",
+    "ensure_rng",
+    "format_float",
+    "spawn_rngs",
+]

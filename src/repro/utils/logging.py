@@ -1,0 +1,31 @@
+"""Library logging setup.
+
+The library never configures the root logger; it logs under the ``repro``
+namespace and leaves handler configuration to the application.
+:func:`enable_console_logging` is a convenience for examples and benches.
+"""
+
+from __future__ import annotations
+
+import logging
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger in the library namespace (``repro`` or ``repro.<name>``)."""
+    if name:
+        return logging.getLogger(f"{LOGGER_NAME}.{name}")
+    return logging.getLogger(LOGGER_NAME)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple stderr handler to the library logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)

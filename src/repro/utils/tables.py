@@ -1,0 +1,103 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The experiment harness regenerates every table and figure of the paper as
+text: tables become aligned ASCII tables, bar charts (Figs. 5, 6, 8) become
+horizontal ASCII bar charts, and line plots (Figs. 9, 10) become series
+tables.  Keeping the rendering here means benches and examples share one
+consistent look.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Render a float compactly (``1.91``, ``0.051``, ``97.55``)."""
+    if value != value:  # NaN
+        return "nan"
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+class AsciiTable:
+    """An aligned, boxed ASCII table.
+
+    >>> t = AsciiTable(["network", "accuracy"])
+    >>> t.add_row(["baseline", 97.55])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        if not headers:
+            raise ValueError("headers must not be empty")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [
+            format_float(c) if isinstance(c, float) else str(c) for c in row
+        ]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        out: list[str] = []
+        if self.title:
+            out.append(self.title)
+        out.extend([sep, line(self.headers), sep])
+        out.extend(line(row) for row in self.rows)
+        out.append(sep)
+        return "\n".join(out)
+
+
+class AsciiBarChart:
+    """A horizontal ASCII bar chart for the paper's per-digit figures."""
+
+    def __init__(
+        self,
+        title: str | None = None,
+        *,
+        width: int = 40,
+        value_formatter=format_float,
+    ) -> None:
+        self.title = title
+        self.width = int(width)
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self._format = value_formatter
+        self._bars: list[tuple[str, float]] = []
+
+    def add_bar(self, label: str, value: float) -> None:
+        value = float(value)
+        if value < 0 or value != value:
+            raise ValueError(f"bar values must be finite and >= 0, got {value}")
+        self._bars.append((str(label), value))
+
+    def render(self) -> str:
+        if not self._bars:
+            return self.title or "(empty chart)"
+        label_w = max(len(lbl) for lbl, _ in self._bars)
+        peak = max(v for _, v in self._bars) or 1.0
+        out: list[str] = []
+        if self.title:
+            out.append(self.title)
+        for label, value in self._bars:
+            n = int(round(self.width * value / peak))
+            bar = "#" * n if value > 0 else ""
+            out.append(f"{label.ljust(label_w)} | {bar} {self._format(value)}")
+        return "\n".join(out)

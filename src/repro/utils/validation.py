@@ -1,0 +1,49 @@
+"""Argument-validation helpers used across the library.
+
+These raise :class:`~repro.errors.ConfigurationError` (a ``ValueError``
+subclass) with messages that name the offending argument, so failures in
+user code point directly at the bad parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1) if not inclusive)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a float, got {value!r}") from exc
+    if not np.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value}")
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    elif not 0.0 < value < 1.0:
+        raise ConfigurationError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_probability_rows(probs: np.ndarray, name: str = "probabilities") -> np.ndarray:
+    """Validate a 2-D array whose rows are probability distributions."""
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ConfigurationError(f"{name} must be 2-D (batch, classes), got {probs.shape}")
+    if probs.size and (probs.min() < -1e-9 or probs.max() > 1 + 1e-9):
+        raise ConfigurationError(f"{name} entries must lie in [0, 1]")
+    if probs.size and not np.allclose(probs.sum(axis=1), 1.0, atol=1e-6):
+        raise ConfigurationError(f"{name} rows must sum to 1")
+    return probs

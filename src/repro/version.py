@@ -1,0 +1,9 @@
+"""Single source of truth for the package version."""
+
+__version__ = "1.0.0"
+
+#: Identification of the reproduced paper, used in reports and logs.
+PAPER = (
+    "Conditional Deep Learning for Energy-Efficient and Enhanced Pattern "
+    "Recognition (P. Panda, A. Sengupta, K. Roy - DATE 2016)"
+)

@@ -1,0 +1,155 @@
+"""Tests for activation functions and losses (values + analytic gradients)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import (
+    Identity,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    get_activation,
+)
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy, get_loss
+
+_ARRAYS = hnp.arrays(
+    np.float64,
+    hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6),
+    elements=st.floats(-10, 10),
+)
+
+
+class TestForwardValues:
+    def test_identity(self):
+        x = np.array([[-1.0, 2.0]])
+        np.testing.assert_array_equal(Identity().forward(x), x)
+
+    def test_sigmoid_range_and_midpoint(self):
+        s = Sigmoid()
+        assert s.forward(np.array(0.0)) == pytest.approx(0.5)
+        out = s.forward(np.linspace(-50, 50, 101))
+        assert out.min() >= 0 and out.max() <= 1
+
+    def test_sigmoid_extreme_inputs_do_not_overflow(self):
+        out = Sigmoid().forward(np.array([-1e6, 1e6]))
+        assert np.all(np.isfinite(out))
+
+    def test_tanh(self):
+        np.testing.assert_allclose(
+            Tanh().forward(np.array([0.0, 1.0])), [0.0, np.tanh(1.0)]
+        )
+
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            ReLU().forward(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0]
+        )
+
+    def test_softmax_rows_sum_to_one(self):
+        out = Softmax().forward(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(out.sum(axis=1), [1.0, 1.0])
+
+    def test_softmax_shift_invariance(self):
+        s = Softmax()
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(s.forward(x), s.forward(x + 1000.0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(_ARRAYS)
+    def test_softmax_is_a_distribution(self, x):
+        out = Softmax().forward(x)
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+
+class TestBackwardGradients:
+    @pytest.mark.parametrize(
+        "activation", [Identity(), Sigmoid(), Tanh(), ReLU(), Softmax()]
+    )
+    def test_matches_numeric_gradient(self, activation, gradcheck):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 4))
+        # Nudge away from ReLU's kink to keep the numeric check valid.
+        x[np.abs(x) < 1e-3] = 0.1
+        upstream = rng.normal(size=(3, 4))
+        out = activation.forward(x)
+        analytic = activation.backward(upstream, out)
+        numeric = gradcheck(lambda: float(np.sum(activation.forward(x) * upstream)), x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_activation("sigmoid"), Sigmoid)
+
+    def test_instance_passthrough(self):
+        inst = ReLU()
+        assert get_activation(inst) is inst
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_activation("swish")
+
+    def test_equality_by_type(self):
+        assert Sigmoid() == Sigmoid()
+        assert Sigmoid() != Tanh()
+
+
+class TestMeanSquaredError:
+    def test_zero_loss_on_perfect_prediction(self):
+        loss = MeanSquaredError()
+        out = np.eye(3)
+        assert loss.value(out, np.arange(3)) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        loss = MeanSquaredError()
+        out = np.array([[0.5, 0.5]])
+        # targets one-hot [1, 0]: 0.5*(0.25+0.25)/1
+        assert loss.value(out, np.array([0])) == pytest.approx(0.25)
+
+    def test_gradient_matches_numeric(self, gradcheck):
+        loss = MeanSquaredError()
+        rng = np.random.default_rng(1)
+        out = rng.random((4, 5))
+        labels = np.array([0, 1, 2, 3])
+        analytic = loss.gradient(out, labels)
+        numeric = gradcheck(lambda: loss.value(out, labels), out)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_accepts_one_hot_targets(self):
+        loss = MeanSquaredError()
+        out = np.array([[0.2, 0.8]])
+        t = np.array([[0.0, 1.0]])
+        assert loss.value(out, t) == pytest.approx(0.5 * (0.04 + 0.04))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        loss = SoftmaxCrossEntropy()
+        out = np.array([[1.0 - 1e-9, 1e-9]])
+        assert loss.value(out, np.array([0])) < 1e-6
+
+    def test_uniform_prediction_is_log_k(self):
+        loss = SoftmaxCrossEntropy()
+        out = np.full((1, 4), 0.25)
+        assert loss.value(out, np.array([2])) == pytest.approx(np.log(4))
+
+    def test_fused_gradient(self):
+        loss = SoftmaxCrossEntropy()
+        out = np.array([[0.7, 0.3]])
+        grad = loss.gradient(out, np.array([0]))
+        np.testing.assert_allclose(grad, [[-0.3, 0.3]])
+
+    def test_bad_epsilon_raises(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxCrossEntropy(epsilon=0.0)
+
+    def test_registry(self):
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        assert isinstance(get_loss("softmax_cross_entropy"), SoftmaxCrossEntropy)
+        with pytest.raises(ConfigurationError):
+            get_loss("hinge")

@@ -1,0 +1,169 @@
+"""Tests for confidence policies and the activation module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdl.confidence import (
+    ActivationModule,
+    AmbiguityPolicy,
+    MarginPolicy,
+    MaxProbabilityPolicy,
+    ScoreThresholdPolicy,
+    get_confidence_policy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestScoreThresholdPolicy:
+    """The paper's two-criterion rule: terminate iff exactly one label is
+    sufficiently confident."""
+
+    def setup_method(self):
+        self.policy = ScoreThresholdPolicy()
+
+    def test_single_confident_label_terminates(self):
+        probs = np.array([[0.9, 0.1, 0.05]])
+        verdict = self.policy.assess(probs, 0.5, scores_are_probabilities=True)
+        assert verdict.terminate[0]
+        assert verdict.labels[0] == 0
+
+    def test_no_confident_label_forwards(self):
+        probs = np.array([[0.3, 0.2, 0.1]])
+        verdict = self.policy.assess(probs, 0.5, scores_are_probabilities=True)
+        assert not verdict.terminate[0]
+
+    def test_multiple_confident_labels_forward(self):
+        """The paper's second criterion: confidence on more than one label
+        means the input is ambiguous and must be passed along."""
+        probs = np.array([[0.8, 0.7, 0.1]])
+        verdict = self.policy.assess(probs, 0.5, scores_are_probabilities=True)
+        assert not verdict.terminate[0]
+
+    def test_fig4_scenario(self):
+        """Fig. 4: activation value 0.8 keeps 0.95/0.8 exits and forwards
+        0.3/0.4 confidence instances."""
+        probs = np.array([[0.95, 0.0], [0.8, 0.0], [0.3, 0.1], [0.4, 0.2]])
+        verdict = self.policy.assess(probs, 0.8, scores_are_probabilities=True)
+        np.testing.assert_array_equal(verdict.terminate, [True, True, False, False])
+
+    def test_raw_scores_pass_through_sigmoid(self):
+        scores = np.array([[5.0, -5.0]])
+        verdict = self.policy.assess(scores, 0.5)
+        assert verdict.terminate[0]
+        assert verdict.confidence[0] == pytest.approx(1 / (1 + np.exp(-5)))
+
+
+class TestMaxProbabilityPolicy:
+    def test_requires_confidence_above_delta(self):
+        policy = MaxProbabilityPolicy()
+        probs = np.array([[0.45, 0.30, 0.25]])
+        verdict = policy.assess(probs, 0.5, scores_are_probabilities=True)
+        assert not verdict.terminate[0]
+
+    def test_softmaxes_raw_scores(self):
+        policy = MaxProbabilityPolicy()
+        scores = np.array([[10.0, 0.0, 0.0]])
+        verdict = policy.assess(scores, 0.9)
+        assert verdict.terminate[0]
+
+    def test_ambiguous_above_delta_forwards(self):
+        policy = MaxProbabilityPolicy()
+        probs = np.array([[0.5, 0.5, 0.0]])
+        verdict = policy.assess(probs, 0.4, scores_are_probabilities=True)
+        assert not verdict.terminate[0]
+
+
+class TestMarginPolicy:
+    def test_wide_margin_terminates(self):
+        policy = MarginPolicy()
+        probs = np.array([[0.8, 0.1, 0.1]])
+        assert policy.assess(probs, 0.5, scores_are_probabilities=True).terminate[0]
+
+    def test_narrow_margin_forwards(self):
+        policy = MarginPolicy()
+        probs = np.array([[0.45, 0.44, 0.11]])
+        assert not policy.assess(probs, 0.5, scores_are_probabilities=True).terminate[0]
+
+    def test_single_class_raises(self):
+        with pytest.raises(ConfigurationError):
+            MarginPolicy().assess(np.array([[1.0]]), 0.5, scores_are_probabilities=True)
+
+
+class TestAmbiguityPolicy:
+    def test_terminates_without_sufficient_confidence(self):
+        """The ambiguity-only rule exits even on weak evidence -- the
+        behaviour behind Fig. 10's high-delta accuracy collapse."""
+        policy = AmbiguityPolicy()
+        probs = np.array([[0.3, 0.2, 0.1]])
+        assert policy.assess(probs, 0.5, scores_are_probabilities=True).terminate[0]
+
+    def test_forwards_only_on_multi_label_confidence(self):
+        policy = AmbiguityPolicy()
+        probs = np.array([[0.8, 0.7, 0.1]])
+        assert not policy.assess(probs, 0.5, scores_are_probabilities=True).terminate[0]
+
+    def test_raising_delta_increases_exits(self):
+        """Monotonicity: a higher delta can only turn forwards into exits."""
+        policy = AmbiguityPolicy()
+        rng = np.random.default_rng(0)
+        probs = rng.random((100, 10))
+        low = policy.assess(probs, 0.3, scores_are_probabilities=True).terminate
+        high = policy.assess(probs, 0.7, scores_are_probabilities=True).terminate
+        assert high.sum() >= low.sum()
+        assert np.all(high[low])  # everything that exited at 0.3 still exits
+
+
+class TestPolicyInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.floats(0.05, 0.95),
+    )
+    def test_labels_always_argmax(self, seed, delta):
+        rng = np.random.default_rng(seed)
+        probs = rng.dirichlet(np.ones(5), size=8)
+        for policy in (
+            MaxProbabilityPolicy(),
+            MarginPolicy(),
+            ScoreThresholdPolicy(),
+            AmbiguityPolicy(),
+        ):
+            verdict = policy.assess(probs, delta, scores_are_probabilities=True)
+            np.testing.assert_array_equal(verdict.labels, probs.argmax(axis=1))
+            assert verdict.terminate.dtype == bool
+            assert np.all(verdict.confidence >= 0)
+
+    def test_invalid_delta_raises(self):
+        for policy in (MaxProbabilityPolicy(), ScoreThresholdPolicy()):
+            with pytest.raises(ConfigurationError):
+                policy.assess(np.ones((1, 3)), 1.5, scores_are_probabilities=True)
+
+
+class TestActivationModule:
+    def test_default_policy_is_two_criterion_rule(self):
+        module = ActivationModule()
+        assert isinstance(module.policy, ScoreThresholdPolicy)
+
+    def test_runtime_delta_override(self):
+        module = ActivationModule(delta=0.9)
+        probs = np.array([[0.6, 0.1]])
+        assert not module.decide(probs, scores_are_probabilities=True).terminate[0]
+        assert module.decide(probs, 0.5, scores_are_probabilities=True).terminate[0]
+
+    def test_policy_by_name(self):
+        module = ActivationModule(policy="margin")
+        assert isinstance(module.policy, MarginPolicy)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ConfigurationError):
+            ActivationModule(policy="oracle")
+
+    def test_get_policy_passthrough(self):
+        inst = MarginPolicy()
+        assert get_confidence_policy(inst) is inst
+
+    def test_invalid_delta_raises(self):
+        with pytest.raises(ConfigurationError):
+            ActivationModule(delta=2.0)

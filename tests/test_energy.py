@@ -1,0 +1,167 @@
+"""Tests for the 45 nm energy model and the synthesis estimator."""
+
+import numpy as np
+import pytest
+
+from repro.cdl.architectures import mnist_2c, mnist_3c
+from repro.energy.models import (
+    ConditionalEnergyProfile,
+    layer_energy,
+    network_energy,
+    opcount_energy,
+)
+from repro.energy.report import EnergyReport
+from repro.energy.rtl import synthesize_layer, synthesize_network
+from repro.energy.technology import TECHNOLOGY_45NM, TechnologyModel
+from repro.errors import ConfigurationError
+from repro.nn import Conv2D, Dense, MaxPool2D
+from repro.ops.counting import OpCount
+from repro.ops.profile import ConditionalOpsProfile, PathCostTable
+
+
+class TestTechnologyModel:
+    def test_mac_energy(self):
+        tech = TechnologyModel(mult_pj=1.0, add_pj=0.1)
+        assert tech.mac_pj == pytest.approx(1.1)
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyModel(mult_pj=0.0)
+        with pytest.raises(ConfigurationError):
+            TechnologyModel(leakage_overhead=1.0)
+
+    def test_voltage_scaling_quadratic(self):
+        scaled = TECHNOLOGY_45NM.scaled_voltage(0.45)
+        ratio = (0.45 / TECHNOLOGY_45NM.voltage_v) ** 2
+        assert scaled.mult_pj == pytest.approx(TECHNOLOGY_45NM.mult_pj * ratio)
+        assert scaled.voltage_v == 0.45
+
+    def test_voltage_scaling_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            TECHNOLOGY_45NM.scaled_voltage(0.0)
+
+
+class TestOpcountEnergy:
+    def test_macs_dominate(self):
+        tech = TECHNOLOGY_45NM
+        only_macs = opcount_energy(OpCount(macs=1000), tech)
+        only_adds = opcount_energy(OpCount(adds=1000), tech)
+        assert only_macs > 10 * only_adds
+
+    def test_zero_ops_zero_energy(self):
+        assert opcount_energy(OpCount.zero()) == 0.0
+
+    def test_leakage_multiplier(self):
+        tech = TechnologyModel(leakage_overhead=0.0)
+        leaky = TechnologyModel(leakage_overhead=0.5)
+        base = opcount_energy(OpCount(macs=100), tech)
+        assert opcount_energy(OpCount(macs=100), leaky) == pytest.approx(1.5 * base)
+
+
+class TestLayerNetworkEnergy:
+    def test_layer_energy_positive(self):
+        layer = Conv2D(6, 5)
+        layer.build((1, 28, 28), np.random.default_rng(0))
+        assert layer_energy(layer) > 0
+
+    def test_network_energy_is_sum_of_layers(self):
+        net, _ = mnist_2c(rng=0)
+        total = network_energy(net)
+        assert total == pytest.approx(sum(layer_energy(l) for l in net.layers))
+
+    def test_2c_consumes_more_than_3c(self):
+        net2, _ = mnist_2c(rng=0)
+        net3, _ = mnist_3c(rng=0)
+        assert network_energy(net2) > network_energy(net3)
+
+
+class TestConditionalEnergyProfile:
+    def make_profile(self, fixed=0.0):
+        table = PathCostTable(
+            exit_costs=(OpCount(macs=100), OpCount(macs=500)),
+            baseline_cost=OpCount(macs=500),
+            stage_names=("O1", "FC"),
+        )
+        ops = ConditionalOpsProfile.from_exits(
+            np.array([0, 0, 1]), np.array([1, 1, 5]), table
+        )
+        return ConditionalEnergyProfile.from_ops_profile(
+            ops, fixed_overhead_pj=fixed
+        )
+
+    def test_improvement_matches_ops_without_overhead(self):
+        profile = self.make_profile()
+        # With MAC-only costs, energy ratio == ops ratio.
+        expected = 500 / ((100 + 100 + 500) / 3)
+        assert profile.energy_improvement == pytest.approx(expected)
+
+    def test_fixed_overhead_compresses_gain(self):
+        plain = self.make_profile(fixed=0.0)
+        loaded = self.make_profile(fixed=1e5)
+        assert loaded.energy_improvement < plain.energy_improvement
+        assert loaded.energy_improvement > 1.0
+
+    def test_per_digit_improvement(self):
+        profile = self.make_profile()
+        per_digit = profile.per_digit_improvement()
+        assert per_digit[1] > per_digit[5]
+        assert per_digit[5] == pytest.approx(1.0)
+
+    def test_negative_overhead_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make_profile(fixed=-1.0)
+
+
+class TestSynthesis:
+    def test_layer_report_fields(self):
+        layer = Conv2D(6, 5, name="C1")
+        layer.build((1, 28, 28), np.random.default_rng(0))
+        report = synthesize_layer(layer)
+        assert report.gate_count > 0
+        assert report.area_um2 > 0
+        assert report.sram_bits == layer.num_params * 16
+        assert report.dynamic_mw > 0
+        assert report.leakage_mw > 0
+        assert report.cycles_per_input >= 1
+
+    def test_pooling_has_no_sram(self):
+        layer = MaxPool2D(2)
+        layer.build((6, 24, 24), None)
+        assert synthesize_layer(layer).sram_bits == 0
+
+    def test_bigger_layer_bigger_area(self):
+        small = Dense(10)
+        small.build((50,), np.random.default_rng(0))
+        big = Dense(10)
+        big.build((500,), np.random.default_rng(0))
+        assert synthesize_layer(big).area_um2 > synthesize_layer(small).area_um2
+
+    def test_network_report_aggregates(self):
+        net, _ = mnist_2c(rng=0)
+        whole = synthesize_network(net, name="mnist_2c")
+        parts = [synthesize_layer(l) for l in net.layers]
+        assert whole.gate_count == sum(p.gate_count for p in parts)
+        assert whole.area_um2 == pytest.approx(sum(p.area_um2 for p in parts))
+
+    def test_unbuilt_layer_raises(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_layer(Dense(5))
+
+    def test_total_power(self):
+        layer = Dense(10)
+        layer.build((50,), np.random.default_rng(0))
+        report = synthesize_layer(layer)
+        assert report.total_power_mw == pytest.approx(
+            report.dynamic_mw + report.leakage_mw
+        )
+
+
+class TestEnergyReport:
+    def test_for_network_and_render(self):
+        net, _ = mnist_3c(rng=0)
+        report = EnergyReport.for_network(net, name="mnist_3c")
+        text = report.render()
+        assert "mnist_3c" in text
+        assert "OPS / input" in text
+        assert report.total_ops > 0
+        assert report.energy_pj > 0

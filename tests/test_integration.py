@@ -1,0 +1,119 @@
+"""Cross-module integration tests: determinism, checkpoint round-trips of
+trained systems, runner CLI, and cost-model consistency on the real
+architectures."""
+
+import numpy as np
+import pytest
+
+from repro.cdl.statistics import evaluate_cdln
+from repro.cdl.training import CdlTrainingConfig, train_cdln
+from repro.data.synthetic_mnist import make_dataset_pair
+from repro.energy.models import opcount_energy
+from repro.experiments.runner import main as runner_main
+from repro.nn.serialization import load_network, save_network
+from repro.ops.counting import cumulative_ops
+
+
+class TestDeterminism:
+    def test_train_cdln_fully_deterministic(self, tiny_datasets):
+        """Same data + same seed => identical cascade decisions."""
+        train, test = tiny_datasets
+        config = CdlTrainingConfig(
+            architecture="mnist_3c", baseline_epochs=1, gain_epsilon=None
+        )
+        a = train_cdln(train, config=config, rng=123)
+        b = train_cdln(train, config=config, rng=123)
+        ra = a.cdln.predict(test.images, delta=0.6)
+        rb = b.cdln.predict(test.images, delta=0.6)
+        np.testing.assert_array_equal(ra.labels, rb.labels)
+        np.testing.assert_array_equal(ra.exit_stages, rb.exit_stages)
+
+    def test_different_seed_changes_model(self, tiny_datasets):
+        train, _ = tiny_datasets
+        config = CdlTrainingConfig(
+            architecture="mnist_3c", baseline_epochs=1, gain_epsilon=None
+        )
+        a = train_cdln(train, config=config, rng=1)
+        b = train_cdln(train, config=config, rng=2)
+        assert not np.array_equal(
+            a.baseline.layers[0].params["weight"],
+            b.baseline.layers[0].params["weight"],
+        )
+
+
+class TestCheckpointedCascade:
+    def test_baseline_round_trip_preserves_cascade(
+        self, trained_3c, tiny_test_set, tmp_path
+    ):
+        """Saving and reloading the backbone must not perturb conditional
+        decisions: the reloaded baseline plugged into a fresh CDLN with the
+        same (shared) classifiers reproduces every exit."""
+        path = save_network(trained_3c.baseline, tmp_path / "backbone.npz")
+        reloaded = load_network(path)
+        clone = trained_3c.cdln.clone_with_stages(
+            [s.name for s in trained_3c.cdln.linear_stages]
+        )
+        clone.baseline = reloaded
+        a = trained_3c.cdln.predict(tiny_test_set.images[:60], delta=0.6)
+        b = clone.predict(tiny_test_set.images[:60], delta=0.6)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.exit_stages, b.exit_stages)
+
+
+class TestCostModelConsistency:
+    def test_exit_cost_equals_backbone_plus_classifiers(self, trained_3c):
+        """The cost table must be exactly decomposable: each linear exit =
+        backbone prefix + the classifiers evaluated so far."""
+        cdln = trained_3c.cdln
+        table = cdln.path_cost_table()
+        lc_total = 0
+        for idx, stage in enumerate(cdln.linear_stages):
+            lc_total += stage.classifier.op_cost().total
+            backbone = cumulative_ops(cdln.baseline, stage.attach_index + 1).total
+            assert table.exit_totals()[idx] == backbone + lc_total
+
+    def test_energy_monotone_in_ops(self, trained_3c):
+        """More operations can never cost less energy under the model."""
+        table = trained_3c.cdln.path_cost_table()
+        energies = [opcount_energy(c) for c in table.exit_costs]
+        assert all(b >= a for a, b in zip(energies, energies[1:]))
+
+    def test_average_ops_between_extremes(self, trained_3c, tiny_test_set):
+        ev = evaluate_cdln(trained_3c.cdln, tiny_test_set, delta=0.6)
+        totals = trained_3c.cdln.path_cost_table().exit_totals()
+        assert totals.min() <= ev.ops.average_ops <= totals.max()
+
+
+class TestAccuracyVsDatasetDifficulty:
+    def test_harder_dataset_lowers_baseline_accuracy(self):
+        """Sanity of the difficulty machinery end to end: a generator with
+        a heavier hard tail must yield a harder learning problem."""
+        from repro.data.synthetic_mnist import SyntheticMnistConfig
+        from repro.nn import Adam, Trainer
+        from repro.cdl.architectures import mnist_3c
+
+        easy_cfg = SyntheticMnistConfig(difficulty_alpha=0.5, difficulty_beta=6.0)
+        hard_cfg = SyntheticMnistConfig(difficulty_alpha=6.0, difficulty_beta=0.5)
+        accuracies = {}
+        for name, cfg in (("easy", easy_cfg), ("hard", hard_cfg)):
+            train, test = make_dataset_pair(400, 200, config=cfg, rng=5)
+            net, _ = mnist_3c(rng=1)
+            Trainer(
+                net, loss="softmax_cross_entropy", optimizer=Adam(0.005), rng=2
+            ).fit(train.images, train.labels, epochs=2)
+            accuracies[name] = float(
+                (net.predict_labels(test.images) == test.labels).mean()
+            )
+        assert accuracies["easy"] > accuracies["hard"]
+
+
+class TestRunnerCli:
+    def test_unknown_scale_returns_error(self):
+        assert runner_main(["galactic"]) == 2
+
+    def test_tiny_run_prints_every_experiment(self, capsys, tiny_scale):
+        # Uses the session cache populated by the fixtures, so this is fast.
+        assert runner_main(["tiny", "7"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table III", "Fig. 5", "Fig. 9", "Fig. 10", "Table IV"):
+            assert marker in out

@@ -1,0 +1,157 @@
+"""Tests for metrics, initializers, and model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError, ShapeError, ConfigurationError
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    Network,
+    accuracy,
+    confusion_matrix,
+    get_initializer,
+    load_network,
+    per_class_accuracy,
+    save_network,
+    topk_accuracy,
+)
+from repro.nn.initializers import GlorotUniform, HeNormal, LecunNormal, Zeros, Constant
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2]), np.array([1, 2])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([1, 0]), np.array([1, 1])) == 0.5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8]])
+        labels = np.array([0, 0])
+        assert topk_accuracy(scores, labels, k=1) == 0.5
+
+    def test_topk_covers_all(self):
+        scores = np.random.default_rng(0).random((10, 5))
+        labels = np.random.default_rng(1).integers(0, 5, 10)
+        assert topk_accuracy(scores, labels, k=5) == 1.0
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ShapeError):
+            topk_accuracy(np.zeros(5), np.zeros(5, dtype=int))
+
+
+class TestConfusion:
+    def test_diagonal_when_perfect(self):
+        labels = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(labels, labels, 3)
+        np.testing.assert_array_equal(matrix, np.diag([1, 1, 2]))
+
+    def test_off_diagonal(self):
+        matrix = confusion_matrix(np.array([1]), np.array([0]), 2)
+        assert matrix[0, 1] == 1
+
+    def test_per_class_accuracy_with_absent_class(self):
+        pca = per_class_accuracy(np.array([0, 0]), np.array([0, 1]), 3)
+        assert pca[0] == 1.0
+        assert pca[1] == 0.0
+        assert np.isnan(pca[2])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ShapeError):
+            confusion_matrix(np.array([5]), np.array([0]), 3)
+
+
+class TestInitializers:
+    @pytest.mark.parametrize("name", [
+        "zeros", "glorot_uniform", "glorot_normal", "he_normal", "lecun_normal",
+    ])
+    def test_registry_and_shape(self, name):
+        init = get_initializer(name)
+        out = init((4, 5), np.random.default_rng(0))
+        assert out.shape == (4, 5)
+
+    def test_zeros(self):
+        assert not Zeros()((3, 3)).any()
+
+    def test_constant(self):
+        np.testing.assert_array_equal(Constant(2.5)((2,)), [2.5, 2.5])
+
+    def test_glorot_uniform_bound(self):
+        out = GlorotUniform()((100, 100), np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(out).max() <= limit
+
+    def test_he_variance(self):
+        out = HeNormal()((2000, 50), np.random.default_rng(0))
+        assert out.var() == pytest.approx(2.0 / 50, rel=0.1)
+
+    def test_lecun_variance(self):
+        out = LecunNormal()((2000, 50), np.random.default_rng(0))
+        assert out.var() == pytest.approx(1.0 / 50, rel=0.1)
+
+    def test_conv_fan_handling(self):
+        out = GlorotUniform()((8, 4, 3, 3), np.random.default_rng(0))
+        assert out.shape == (8, 4, 3, 3)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_initializer("orthogonal")
+
+
+class TestSerialization:
+    def make_net(self):
+        return Network(
+            [
+                Conv2D(3, 3, activation="relu", name="C1"),
+                MaxPool2D(2, name="P1"),
+                Flatten(),
+                Dense(10, activation="softmax", name="FC"),
+            ],
+            input_shape=(1, 8, 8),
+            rng=11,
+        )
+
+    def test_round_trip_preserves_outputs(self, tmp_path):
+        net = self.make_net()
+        x = np.random.default_rng(0).random((4, 1, 8, 8))
+        path = save_network(net, tmp_path / "model.npz")
+        loaded = load_network(path)
+        np.testing.assert_allclose(loaded.forward(x), net.forward(x))
+
+    def test_round_trip_preserves_architecture(self, tmp_path):
+        net = self.make_net()
+        path = save_network(net, tmp_path / "model.npz")
+        loaded = load_network(path)
+        assert [type(l).__name__ for l in loaded.layers] == [
+            type(l).__name__ for l in net.layers
+        ]
+        assert loaded.input_shape == net.input_shape
+
+    def test_appends_npz_suffix(self, tmp_path):
+        net = self.make_net()
+        path = save_network(net, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_network(tmp_path / "nope.npz")
+
+    def test_non_checkpoint_file_raises(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(SerializationError):
+            load_network(path)

@@ -1,0 +1,209 @@
+"""Tests for operation counting and path cost profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdl.architectures import mnist_2c, mnist_3c
+from repro.errors import ConfigurationError
+from repro.nn import ActivationLayer, AvgPool2D, Conv2D, Dense, Flatten, MaxPool2D, Network
+from repro.ops.counting import (
+    OpCount,
+    count_layer_ops,
+    count_network_ops,
+    cumulative_ops,
+    network_total_ops,
+)
+from repro.ops.profile import ConditionalOpsProfile, PathCostTable
+
+
+class TestOpCount:
+    def test_total_weighting(self):
+        count = OpCount(macs=10, adds=5, comparisons=3, activations=2)
+        assert count.total == 2 * 10 + 5 + 3 + 2
+
+    def test_addition(self):
+        total = OpCount(macs=1) + OpCount(adds=2, comparisons=3)
+        assert (total.macs, total.adds, total.comparisons) == (1, 2, 3)
+
+    def test_scaled(self):
+        half = OpCount(macs=10, adds=4).scaled(0.5)
+        assert half.macs == 5 and half.adds == 2
+
+    def test_zero(self):
+        assert OpCount.zero().total == 0
+
+
+class TestLayerCounts:
+    def test_conv_exact(self):
+        layer = Conv2D(6, 5, activation="sigmoid")
+        layer.build((1, 28, 28), np.random.default_rng(0))
+        count = count_layer_ops(layer)
+        elements = 6 * 24 * 24
+        assert count.macs == elements * 1 * 25
+        assert count.adds == elements  # bias
+        assert count.activations == elements
+
+    def test_conv_identity_activation_free(self):
+        layer = Conv2D(2, 3, activation="identity")
+        layer.build((1, 8, 8), np.random.default_rng(0))
+        assert count_layer_ops(layer).activations == 0
+
+    def test_dense_exact(self):
+        layer = Dense(10, activation="sigmoid")
+        layer.build((100,), np.random.default_rng(0))
+        count = count_layer_ops(layer)
+        assert count.macs == 1000
+        assert count.adds == 10
+        assert count.activations == 10
+
+    def test_dense_softmax_extra_ops(self):
+        layer = Dense(10, activation="softmax")
+        layer.build((100,), np.random.default_rng(0))
+        count = count_layer_ops(layer)
+        assert count.activations == 20  # exp + divide
+        assert count.adds == 10 + 9  # bias + normalization sum
+
+    def test_maxpool_exact(self):
+        layer = MaxPool2D(2)
+        layer.build((6, 24, 24), None)
+        count = count_layer_ops(layer)
+        assert count.comparisons == 6 * 12 * 12 * 3
+        assert count.macs == 0
+
+    def test_unit_maxpool_free(self):
+        layer = MaxPool2D(1)
+        layer.build((9, 3, 3), None)
+        assert count_layer_ops(layer).total == 0
+
+    def test_avgpool(self):
+        layer = AvgPool2D(2)
+        layer.build((4, 8, 8), None)
+        count = count_layer_ops(layer)
+        assert count.adds == 4 * 4 * 4 * 4
+        assert count.comparisons == 0
+
+    def test_flatten_free(self):
+        layer = Flatten()
+        layer.build((3, 4, 4), None)
+        assert count_layer_ops(layer).total == 0
+
+    def test_activation_layer(self):
+        layer = ActivationLayer("relu")
+        layer.build((5, 2, 2), None)
+        assert count_layer_ops(layer).activations == 20
+
+    def test_unbuilt_layer_raises(self):
+        with pytest.raises(ConfigurationError):
+            count_layer_ops(Dense(3))
+
+
+class TestNetworkCounts:
+    def test_cumulative_monotone(self):
+        net, _ = mnist_3c(rng=0)
+        totals = [cumulative_ops(net, i).total for i in range(len(net.layers) + 1)]
+        assert totals[0] == 0
+        assert all(b >= a for a, b in zip(totals, totals[1:]))
+        assert totals[-1] == network_total_ops(net)
+
+    def test_count_network_ops_length(self):
+        net, _ = mnist_2c(rng=0)
+        assert len(count_network_ops(net)) == len(net.layers)
+
+    def test_mnist_2c_heavier_than_3c(self):
+        """The paper notes MNIST_2C is the more complex DLN (more neurons
+        and synapses) despite having fewer layers."""
+        net2, _ = mnist_2c(rng=0)
+        net3, _ = mnist_3c(rng=0)
+        assert network_total_ops(net2) > network_total_ops(net3)
+
+    def test_cumulative_bad_range(self):
+        net, _ = mnist_2c(rng=0)
+        with pytest.raises(ConfigurationError):
+            cumulative_ops(net, 99)
+
+
+def _table(totals):
+    counts = tuple(OpCount(macs=t) for t in totals)
+    return PathCostTable(
+        exit_costs=counts,
+        baseline_cost=OpCount(macs=totals[-1]),
+        stage_names=tuple(f"S{i}" for i in range(len(totals))),
+    )
+
+
+class TestPathCostTable:
+    def test_totals(self):
+        table = _table([10, 20, 30])
+        np.testing.assert_array_equal(table.exit_totals(), [20, 40, 60])
+
+    def test_requires_non_decreasing(self):
+        with pytest.raises(ConfigurationError):
+            _table([30, 10])
+
+    def test_requires_alignment(self):
+        with pytest.raises(ConfigurationError):
+            PathCostTable(
+                exit_costs=(OpCount(),),
+                baseline_cost=OpCount(),
+                stage_names=("a", "b"),
+            )
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ConfigurationError):
+            PathCostTable(exit_costs=(), baseline_cost=OpCount(), stage_names=())
+
+
+class TestConditionalOpsProfile:
+    def test_from_exits_basic(self):
+        table = _table([10, 50])
+        exits = np.array([0, 0, 1, 0])
+        labels = np.array([1, 1, 5, 5])
+        profile = ConditionalOpsProfile.from_exits(exits, labels, table)
+        assert profile.average_ops == pytest.approx((20 * 3 + 100) / 4)
+        assert profile.baseline_ops == 100.0
+        assert profile.ops_improvement == pytest.approx(400 / 160)
+
+    def test_per_digit_views(self):
+        table = _table([10, 50])
+        profile = ConditionalOpsProfile.from_exits(
+            np.array([0, 1]), np.array([1, 5]), table
+        )
+        per_digit = profile.per_digit_average_ops()
+        assert per_digit[1] == 20.0
+        assert per_digit[5] == 100.0
+        assert np.isnan(per_digit[0])
+        improvement = profile.per_digit_improvement()
+        assert improvement[1] == pytest.approx(5.0)
+
+    def test_stage_exit_fractions(self):
+        table = _table([10, 50])
+        profile = ConditionalOpsProfile.from_exits(
+            np.array([0, 0, 0, 1]), np.zeros(4, dtype=int), table
+        )
+        np.testing.assert_allclose(profile.stage_exit_fractions(), [0.75, 0.25])
+
+    def test_final_stage_fraction_per_digit(self):
+        table = _table([10, 50])
+        profile = ConditionalOpsProfile.from_exits(
+            np.array([0, 1, 1]), np.array([1, 1, 5]), table
+        )
+        fractions = profile.final_stage_fraction_per_digit()
+        assert fractions[1] == pytest.approx(0.5)
+        assert fractions[5] == pytest.approx(1.0)
+
+    def test_out_of_range_exit_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConditionalOpsProfile.from_exits(
+                np.array([5]), np.array([0]), _table([10, 20])
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=30))
+    def test_average_bounded_by_extremes(self, exits):
+        table = _table([10, 50])
+        profile = ConditionalOpsProfile.from_exits(
+            np.array(exits), np.zeros(len(exits), dtype=int), table
+        )
+        assert 20.0 <= profile.average_ops <= 100.0

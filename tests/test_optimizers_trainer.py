@@ -1,0 +1,195 @@
+"""Tests for optimizers, schedules, and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.nn import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    Dense,
+    ExponentialDecay,
+    Flatten,
+    Momentum,
+    Network,
+    StepDecay,
+    Trainer,
+    get_optimizer,
+)
+from repro.nn.layers.base import Layer
+
+
+class _QuadraticLayer(Layer):
+    """f(w) = 0.5 * ||w||^2 stand-in for optimizer convergence tests."""
+
+    def __init__(self, dim=4, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.params = {"w": rng.normal(size=dim)}
+        self.grads = {"w": np.zeros(dim)}
+
+    def build(self, input_shape, rng):
+        return self._mark_built(input_shape, input_shape)
+
+    def loss(self):
+        return 0.5 * float(np.sum(self.params["w"] ** 2))
+
+    def compute_grads(self):
+        self.grads["w"] = self.params["w"].copy()
+
+
+@pytest.mark.parametrize(
+    "optimizer",
+    [SGD(0.1), Momentum(0.05, 0.9), Momentum(0.05, 0.9, nesterov=True), Adam(0.05)],
+)
+def test_optimizers_descend_quadratic(optimizer):
+    layer = _QuadraticLayer()
+    initial = layer.loss()
+    for _ in range(200):
+        layer.compute_grads()
+        optimizer.step([layer])
+    assert layer.loss() < 1e-3 * initial
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantSchedule(0.5).learning_rate(100) == 0.5
+
+    def test_step_decay(self):
+        sched = StepDecay(1.0, step=10, factor=0.5)
+        assert sched.learning_rate(0) == 1.0
+        assert sched.learning_rate(10) == 0.5
+        assert sched.learning_rate(25) == 0.25
+
+    def test_exponential_decay(self):
+        sched = ExponentialDecay(1.0, 0.9)
+        assert sched.learning_rate(2) == pytest.approx(0.81)
+
+    def test_optimizer_consumes_schedule(self):
+        opt = SGD(StepDecay(1.0, step=1, factor=0.1))
+        opt.start_epoch(2)
+        assert opt.current_lr == pytest.approx(0.01)
+
+    def test_invalid_schedules_raise(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ConfigurationError):
+            StepDecay(1.0, step=0)
+        with pytest.raises(ConfigurationError):
+            ExponentialDecay(1.0, decay=0.0)
+
+
+class TestOptimizerValidation:
+    def test_bad_momentum_raises(self):
+        with pytest.raises(ConfigurationError):
+            Momentum(0.1, momentum=1.0)
+
+    def test_bad_adam_raises(self):
+        with pytest.raises(ConfigurationError):
+            Adam(0.1, beta1=1.0)
+
+    def test_registry(self):
+        assert isinstance(get_optimizer("sgd", learning_rate=0.1), SGD)
+        with pytest.raises(ConfigurationError):
+            get_optimizer("lion")
+
+
+def _blob_problem(n=120, seed=0):
+    """Three well-separated Gaussian blobs as (1, 2, 2) 'images'."""
+    rng = np.random.default_rng(seed)
+    centers = np.array(
+        [[3, 0, 0, 0], [0, 3, 0, 0], [0, 0, 3, 0]], dtype=float
+    )
+    labels = rng.integers(0, 3, size=n)
+    x = centers[labels] + rng.normal(0, 0.3, size=(n, 4))
+    return x.reshape(n, 1, 2, 2), labels
+
+
+class TestTrainer:
+    def make_net(self, seed=1):
+        return Network(
+            [Flatten(), Dense(3, activation="softmax")],
+            input_shape=(1, 2, 2),
+            rng=seed,
+        )
+
+    def test_learns_separable_blobs(self):
+        x, y = _blob_problem()
+        trainer = Trainer(
+            self.make_net(), loss="softmax_cross_entropy",
+            optimizer=Adam(0.05), rng=0,
+        )
+        history = trainer.fit(x, y, epochs=20)
+        assert history.final.train_accuracy > 0.95
+
+    def test_mse_recipe_also_learns(self):
+        x, y = _blob_problem(seed=3)
+        net = Network(
+            [Flatten(), Dense(3, activation="sigmoid")],
+            input_shape=(1, 2, 2),
+            rng=2,
+        )
+        trainer = Trainer(net, loss="mse", optimizer=SGD(0.5), rng=0)
+        history = trainer.fit(x, y, epochs=40)
+        assert history.final.train_accuracy > 0.9
+
+    def test_validation_metrics_recorded(self):
+        x, y = _blob_problem()
+        trainer = Trainer(self.make_net(), loss="softmax_cross_entropy", rng=0)
+        history = trainer.fit(x, y, epochs=2, validation=(x, y))
+        assert history.final.val_loss is not None
+        assert history.final.val_accuracy is not None
+
+    def test_early_stopping_halts(self):
+        x, y = _blob_problem()
+        # Validation labels are shuffled noise: its loss cannot keep
+        # improving, so patience must trigger well before 100 epochs.
+        y_noise = np.random.default_rng(9).permutation(y)
+        trainer = Trainer(
+            self.make_net(), loss="softmax_cross_entropy",
+            optimizer=Adam(0.05), rng=0,
+        )
+        history = trainer.fit(
+            x, y, epochs=100, validation=(x, y_noise), early_stop_patience=2
+        )
+        assert len(history.epochs) < 100
+
+    def test_early_stopping_requires_validation(self):
+        x, y = _blob_problem()
+        trainer = Trainer(self.make_net(), rng=0)
+        with pytest.raises(ConfigurationError):
+            trainer.fit(x, y, epochs=2, early_stop_patience=1)
+
+    def test_mismatched_data_raises(self):
+        trainer = Trainer(self.make_net(), rng=0)
+        with pytest.raises(DataError):
+            trainer.fit(np.zeros((4, 1, 2, 2)), np.zeros(3, dtype=int), epochs=1)
+
+    def test_empty_data_raises(self):
+        trainer = Trainer(self.make_net(), rng=0)
+        with pytest.raises(DataError):
+            trainer.fit(np.zeros((0, 1, 2, 2)), np.zeros(0, dtype=int), epochs=1)
+
+    def test_evaluate(self):
+        x, y = _blob_problem()
+        trainer = Trainer(
+            self.make_net(), loss="softmax_cross_entropy", optimizer=Adam(0.05), rng=0
+        )
+        trainer.fit(x, y, epochs=15)
+        loss, acc = trainer.evaluate(x, y)
+        assert acc > 0.9
+        assert loss < 1.0
+
+    def test_history_accessors(self):
+        x, y = _blob_problem()
+        trainer = Trainer(self.make_net(), rng=0)
+        history = trainer.fit(x, y, epochs=3)
+        assert len(history.losses()) == 3
+        assert len(history.accuracies()) == 3
+
+    def test_empty_history_raises(self):
+        from repro.nn.trainer import TrainingHistory
+
+        with pytest.raises(ConfigurationError):
+            TrainingHistory().final

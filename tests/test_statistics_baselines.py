@@ -1,0 +1,116 @@
+"""Tests for the evaluation aggregates and the comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dln import evaluate_dln
+from repro.baselines.scalable_effort import ScalableEffortCascade
+from repro.cdl.confidence import ActivationModule
+from repro.cdl.statistics import evaluate_baseline_accuracy, evaluate_cdln
+from repro.errors import ConfigurationError
+from repro.nn import Adam, Dense, Flatten, Network, Trainer
+
+
+class TestCdlEvaluation:
+    def test_headline_numbers_consistent(self, trained_3c, tiny_test_set):
+        ev = evaluate_cdln(trained_3c.cdln, tiny_test_set, delta=0.6)
+        assert ev.ops_improvement == pytest.approx(1.0 / ev.normalized_ops)
+        assert 0.0 <= ev.accuracy <= 1.0
+        fractions = ev.stage_exit_fractions()
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_energy_improvement_below_ops_improvement(
+        self, trained_3c, tiny_test_set
+    ):
+        """The fixed per-input overhead must compress energy gains slightly
+        below OPS gains, as the paper measures (1.91x -> 1.84x)."""
+        ev = evaluate_cdln(trained_3c.cdln, tiny_test_set, delta=0.6)
+        assert ev.energy_improvement < ev.ops_improvement
+
+    def test_per_digit_arrays_shape(self, trained_3c, tiny_test_set):
+        ev = evaluate_cdln(trained_3c.cdln, tiny_test_set, delta=0.6)
+        assert ev.per_digit_ops_improvement().shape == (10,)
+        assert ev.per_digit_energy_improvement().shape == (10,)
+        assert ev.final_stage_fraction_per_digit().shape == (10,)
+
+    def test_render_contains_stages(self, trained_3c, tiny_test_set):
+        ev = evaluate_cdln(trained_3c.cdln, tiny_test_set, delta=0.6)
+        text = ev.render()
+        for name in trained_3c.cdln.stage_names:
+            assert name in text
+
+    def test_baseline_accuracy_matches_direct_prediction(
+        self, trained_3c, tiny_test_set
+    ):
+        via_helper = evaluate_baseline_accuracy(trained_3c.cdln, tiny_test_set)
+        direct = (
+            trained_3c.baseline.predict_labels(tiny_test_set.images)
+            == tiny_test_set.labels
+        ).mean()
+        assert via_helper == pytest.approx(float(direct))
+
+
+class TestDlnBaseline:
+    def test_evaluation_fields(self, trained_3c, tiny_test_set):
+        ev = evaluate_dln(trained_3c.baseline, tiny_test_set)
+        assert 0.0 <= ev.accuracy <= 1.0
+        assert ev.ops_per_input > 0
+        assert ev.energy_pj_per_input > 0
+        assert ev.normalized_ops == 1.0
+        assert ev.per_digit_accuracy.shape == (10,)
+
+
+def _flat_model(dim, classes, rng):
+    return Network(
+        [Flatten(), Dense(classes, activation="softmax")],
+        input_shape=(1, dim, dim),
+        rng=rng,
+    )
+
+
+class TestScalableEffortCascade:
+    def make_cascade(self, train_x, train_y):
+        small = _flat_model(28, 10, 0)
+        big = _flat_model(28, 10, 1)
+        for model, epochs in ((small, 1), (big, 4)):
+            Trainer(
+                model, loss="softmax_cross_entropy", optimizer=Adam(0.01), rng=0
+            ).fit(train_x, train_y, epochs=epochs)
+        return ScalableEffortCascade(
+            [small, big], ActivationModule(policy="max_probability")
+        )
+
+    def test_empty_cascade_raises(self):
+        with pytest.raises(ConfigurationError):
+            ScalableEffortCascade([])
+
+    def test_stage_costs_cumulative(self, tiny_datasets):
+        train, _ = tiny_datasets
+        cascade = self.make_cascade(train.images, train.labels)
+        costs = cascade.stage_costs()
+        assert costs.shape == (2,)
+        assert costs[1] > costs[0]
+
+    def test_predict_covers_everything(self, tiny_datasets):
+        train, test = tiny_datasets
+        cascade = self.make_cascade(train.images, train.labels)
+        labels, exits = cascade.predict(test.images, delta=0.7)
+        assert (labels >= 0).all()
+        assert set(np.unique(exits)) <= {0, 1}
+
+    def test_last_stage_is_fallback(self, tiny_datasets):
+        """With an impossible delta nothing exits early; the final model
+        must still classify every input."""
+        train, test = tiny_datasets
+        cascade = self.make_cascade(train.images, train.labels)
+        labels, exits = cascade.predict(test.images, delta=0.999999)
+        assert (exits == 1).all()
+        assert (labels >= 0).all()
+
+    def test_evaluate(self, tiny_datasets):
+        train, test = tiny_datasets
+        cascade = self.make_cascade(train.images, train.labels)
+        ev = cascade.evaluate(test, delta=0.7)
+        assert 0.0 <= ev.accuracy <= 1.0
+        assert ev.average_ops > 0
+        assert ev.stage_exit_fractions.sum() == pytest.approx(1.0)

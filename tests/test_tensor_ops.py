@@ -1,0 +1,175 @@
+"""Tests for im2col/col2im and window math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.tensor_ops import (
+    col2im,
+    conv_output_size,
+    im2col,
+    one_hot,
+    pad_images,
+    sliding_windows,
+)
+
+
+class TestConvOutputSize:
+    def test_valid_conv(self):
+        assert conv_output_size(28, 5) == 24
+
+    def test_with_padding(self):
+        assert conv_output_size(28, 5, padding=2) == 28
+
+    def test_with_stride(self):
+        assert conv_output_size(28, 2, stride=2) == 14
+
+    def test_unit_kernel_is_identity(self):
+        assert conv_output_size(13, 1) == 13
+
+    def test_kernel_equal_to_size(self):
+        assert conv_output_size(5, 5) == 1
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(4, 5)
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(28, 0)
+        with pytest.raises(ShapeError):
+            conv_output_size(28, 3, stride=0)
+        with pytest.raises(ShapeError):
+            conv_output_size(28, 3, padding=-1)
+
+
+class TestPadImages:
+    def test_zero_padding_is_noop(self):
+        x = np.random.default_rng(0).random((2, 3, 4, 4))
+        assert pad_images(x, 0) is x
+
+    def test_padding_shape_and_content(self):
+        x = np.ones((1, 1, 2, 2))
+        padded = pad_images(x, 1)
+        assert padded.shape == (1, 1, 4, 4)
+        assert padded[0, 0, 0, 0] == 0
+        assert padded[0, 0, 1, 1] == 1
+
+
+class TestSlidingWindows:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 6 * 6, dtype=float).reshape(2, 3, 6, 6)
+        view = sliding_windows(x, kernel=3, stride=1)
+        assert view.shape == (2, 3, 4, 4, 3, 3)
+
+    def test_window_content(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        view = sliding_windows(x, kernel=2, stride=2)
+        np.testing.assert_array_equal(view[0, 0, 0, 0], [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(view[0, 0, 1, 1], [[10, 11], [14, 15]])
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ShapeError):
+            sliding_windows(np.zeros((3, 4, 4)), kernel=2)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.random.default_rng(0).random((2, 3, 6, 6))
+        cols = im2col(x, kernel=3)
+        assert cols.shape == (2 * 4 * 4, 3 * 9)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((2, 3, 7, 7))
+        w = rng.random((4, 3, 3, 3))
+        cols = im2col(x, 3)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, 5, 5, 4).transpose(0, 3, 1, 2)
+        # Naive direct convolution.
+        naive = np.zeros((2, 4, 5, 5))
+        for n in range(2):
+            for m in range(4):
+                for i in range(5):
+                    for j in range(5):
+                        naive[n, m, i, j] = np.sum(
+                            x[n, :, i : i + 3, j : j + 3] * w[m]
+                        )
+        np.testing.assert_allclose(out, naive, rtol=1e-10)
+
+    def test_unit_kernel_round_trip(self):
+        x = np.random.default_rng(2).random((3, 2, 5, 5))
+        cols = im2col(x, 1)
+        np.testing.assert_allclose(
+            cols.reshape(3, 5, 5, 2).transpose(0, 3, 1, 2), x
+        )
+
+
+class TestCol2Im:
+    def test_adjoint_of_im2col(self):
+        """col2im must be the exact adjoint: <im2col(x), y> == <x, col2im(y)>."""
+        rng = np.random.default_rng(3)
+        x = rng.random((2, 3, 6, 6))
+        cols = im2col(x, 3)
+        y = rng.random(cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, 3)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_non_overlapping_windows_partition(self):
+        """With stride == kernel, col2im(im2col(x)) reproduces x exactly."""
+        x = np.random.default_rng(4).random((2, 3, 6, 6))
+        cols = im2col(x, 2, stride=2)
+        np.testing.assert_allclose(col2im(cols, x.shape, 2, stride=2), x)
+
+    def test_overlap_counts(self):
+        """Overlapping stride-1 windows accumulate; interior pixels of an
+        all-ones column matrix receive kernel^2 contributions."""
+        shape = (1, 1, 5, 5)
+        cols = np.ones((9, 9))
+        image = col2im(cols, shape, 3)
+        assert image[0, 0, 2, 2] == 9.0
+        assert image[0, 0, 0, 0] == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            col2im(np.ones((5, 5)), (1, 1, 6, 6), 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        kernel=st.integers(1, 3),
+        size=st.integers(4, 8),
+        channels=st.integers(1, 3),
+    )
+    def test_adjoint_property(self, kernel, size, channels):
+        rng = np.random.default_rng(kernel * 100 + size * 10 + channels)
+        x = rng.random((1, channels, size, size))
+        cols = im2col(x, kernel)
+        y = rng.random(cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, kernel)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_rows_sum_to_one(self):
+        out = one_hot(np.arange(10), 10)
+        np.testing.assert_array_equal(out.sum(axis=1), np.ones(10))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([0, 3]), 3)
+        with pytest.raises(ShapeError):
+            one_hot(np.array([-1]), 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty(self):
+        assert one_hot(np.array([], dtype=int), 4).shape == (0, 4)
