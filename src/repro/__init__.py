@@ -24,6 +24,17 @@ Subpackages
     The unconditional DLN baseline and the scalable-effort cascade of [1].
 ``repro.experiments``
     One module per paper table/figure.
+``repro.serving``
+    Batched early-exit inference serving: a model registry, an engine
+    with dynamic micro-batching, a budget-aware delta controller, and
+    per-request ops/energy/latency metrics.
+
+Serving quickstart:
+
+>>> from repro import InferenceEngine
+>>> engine = InferenceEngine(model=trained.cdln, delta=0.6)  # doctest: +SKIP
+>>> engine.classify(test.images[0]).exit_stage_name  # doctest: +SKIP
+'O1'
 """
 
 from repro.cdl import (
@@ -51,23 +62,39 @@ from repro.errors import (
 )
 from repro.nn import Network, Trainer
 from repro.ops import OpCount, network_total_ops
+from repro.serving import (
+    AsyncInferenceEngine,
+    DeltaController,
+    InferenceEngine,
+    InferenceResponse,
+    MicroBatchPolicy,
+    ModelRegistry,
+    ServingMetrics,
+)
 from repro.version import PAPER, __version__
 
 __all__ = [
     "ActivationModule",
+    "AsyncInferenceEngine",
     "CDLN",
     "CdlTrainingConfig",
     "ConfigurationError",
     "DataError",
+    "DeltaController",
     "DigitDataset",
     "EnergyReport",
+    "InferenceEngine",
+    "InferenceResponse",
     "LinearClassifier",
+    "MicroBatchPolicy",
+    "ModelRegistry",
     "Network",
     "NotFittedError",
     "OpCount",
     "PAPER",
     "ReproError",
     "SerializationError",
+    "ServingMetrics",
     "ShapeError",
     "TECHNOLOGY_45NM",
     "TechnologyModel",

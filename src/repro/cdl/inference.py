@@ -1,10 +1,12 @@
 """Single-instance conditional inference with a full trace (Algorithm 2).
 
 :func:`classify_instance` walks one input through the cascade and records
-every stage's scores, confidence and decision.  It is the literal
-transcription of Algorithm 2 and powers the Table IV example gallery; the
-batched production path lives in :meth:`repro.cdl.network.CDLN.predict`
-(the two are tested against each other).
+every stage's scores, confidence and decision.  It powers the Table IV
+example gallery.  The walk itself delegates to the shared executor
+(:func:`repro.serving.cascade.execute_cascade`) with stage recording
+switched on, so the trace is by construction the same decision sequence
+the batched path (:meth:`repro.cdl.network.CDLN.predict`) and the serving
+engine produce -- there is no duplicated decide/terminate logic to drift.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import numpy as np
 
 from repro.cdl.network import CDLN
 from repro.errors import ShapeError
+from repro.serving.cascade import execute_cascade
 
 
 @dataclass(frozen=True)
@@ -25,6 +28,8 @@ class StageDecision:
     label: int
     confidence: float
     terminated: bool
+    #: Raw stage scores; a read-only view into the executor's stage buffer
+    #: (no per-stage copies on the trace path).
     scores: np.ndarray
 
 
@@ -65,57 +70,24 @@ def classify_instance(
         batch = image
     else:
         raise ShapeError(
-            f"image must have shape {expected} or (1, {expected}), got {image.shape}"
+            f"image must have shape {expected} or {(1, *expected)}, got {image.shape}"
         )
 
-    decisions: list[StageDecision] = []
-    activation = batch
-    cursor = 0
-    for stage_idx, stage in enumerate(cdln.stages):
-        if stage.is_final:
-            out = cdln.baseline.run_segment(activation, cursor, None)
-            verdict = cdln.activation_module.decide(
-                out,
-                delta,
-                scores_are_probabilities=cdln._final_outputs_are_probabilities(),
-            )
-            decisions.append(
-                StageDecision(
-                    stage_name=stage.name,
-                    label=int(verdict.labels[0]),
-                    confidence=float(verdict.confidence[0]),
-                    terminated=True,
-                    scores=out[0].copy(),
-                )
-            )
-            return InstanceTrace(
-                label=int(verdict.labels[0]),
-                exit_stage=stage_idx,
-                exit_stage_name=stage.name,
-                decisions=decisions,
-            )
-        stop = stage.attach_index + 1
-        activation = cdln.baseline.run_segment(activation, cursor, stop)
-        cursor = stop
-        scores = stage.classifier.confidence_scores(activation.reshape(1, -1))
-        verdict = cdln.activation_module.decide(
-            scores, delta, scores_are_probabilities=True
+    result = execute_cascade(cdln, batch, delta, record_stages=True)
+    decisions = [
+        StageDecision(
+            stage_name=record.stage_name,
+            label=int(record.labels[0]),
+            confidence=float(record.confidences[0]),
+            terminated=bool(record.terminated[0]),
+            scores=record.scores[0],
         )
-        terminated = bool(verdict.terminate[0])
-        decisions.append(
-            StageDecision(
-                stage_name=stage.name,
-                label=int(verdict.labels[0]),
-                confidence=float(verdict.confidence[0]),
-                terminated=terminated,
-                scores=scores[0].copy(),
-            )
-        )
-        if terminated:
-            return InstanceTrace(
-                label=int(verdict.labels[0]),
-                exit_stage=stage_idx,
-                exit_stage_name=stage.name,
-                decisions=decisions,
-            )
-    raise AssertionError("cascade must always end at the final stage")
+        for record in result.stage_records
+    ]
+    exit_stage = int(result.exit_stages[0])
+    return InstanceTrace(
+        label=int(result.labels[0]),
+        exit_stage=exit_stage,
+        exit_stage_name=cdln.stages[exit_stage].name,
+        decisions=decisions,
+    )

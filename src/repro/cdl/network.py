@@ -8,7 +8,11 @@ forward, and only forwarded inputs pay for deeper layers.
 
 The implementation is batched: the active set shrinks as inputs exit, and
 backbone segments run only on the still-active subset -- mirroring the
-hardware behaviour where deeper layers are simply not enabled.
+hardware behaviour where deeper layers are simply not enabled.  The
+shrinking-active-set loop itself lives in
+:func:`repro.serving.cascade.execute_cascade`, shared with the
+single-instance tracer and the serving engine so every path makes
+identical decisions.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cdl.confidence import ActivationModule, ConfidenceAssessment
+from repro.cdl.confidence import ActivationModule
 from repro.cdl.linear_classifier import LinearClassifier
 from repro.cdl.stages import Stage
 from repro.errors import ConfigurationError, NotFittedError
@@ -27,6 +31,7 @@ from repro.nn.layers import Dense
 from repro.nn.network import Network
 from repro.ops.counting import OpCount, cumulative_ops
 from repro.ops.profile import ConditionalOpsProfile, PathCostTable
+from repro.serving.cascade import execute_cascade
 
 
 @dataclass(frozen=True)
@@ -274,12 +279,10 @@ class CDLN:
         confidences = np.zeros(n, dtype=np.float64)
         for start in range(0, n, batch_size):
             sl = slice(start, min(start + batch_size, n))
-            chunk_labels, chunk_exits, chunk_conf = self._predict_chunk(
-                images[sl], delta
-            )
-            labels[sl] = chunk_labels
-            exits[sl] = chunk_exits
-            confidences[sl] = chunk_conf
+            chunk = execute_cascade(self, images[sl], delta)
+            labels[sl] = chunk.labels
+            exits[sl] = chunk.exit_stages
+            confidences[sl] = chunk.confidences
         return CdlBatchResult(
             labels=labels,
             exit_stages=exits,
@@ -287,48 +290,6 @@ class CDLN:
             stage_names=self.stage_names,
             costs=self.path_cost_table(),
         )
-
-    def _predict_chunk(
-        self, images: np.ndarray, delta: float | None
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        n = images.shape[0]
-        labels = np.full(n, -1, dtype=np.int64)
-        exits = np.full(n, -1, dtype=np.int64)
-        confidences = np.zeros(n, dtype=np.float64)
-        active = np.arange(n)
-        activation = images
-        cursor = 0  # next baseline layer to execute
-        for stage_idx, stage in enumerate(self.stages):
-            if stage.is_final:
-                out = self.baseline.run_segment(activation, cursor, None)
-                verdict = self.activation_module.decide(
-                    out,
-                    delta,
-                    scores_are_probabilities=self._final_outputs_are_probabilities(),
-                )
-                labels[active] = verdict.labels
-                confidences[active] = verdict.confidence
-                exits[active] = stage_idx
-                break
-            stop = stage.attach_index + 1
-            activation = self.baseline.run_segment(activation, cursor, stop)
-            cursor = stop
-            feats = activation.reshape(active.shape[0], -1)
-            verdict = self.activation_module.decide(
-                stage.classifier.confidence_scores(feats),
-                delta,
-                scores_are_probabilities=True,
-            )
-            done = verdict.terminate
-            idx_done = active[done]
-            labels[idx_done] = verdict.labels[done]
-            confidences[idx_done] = verdict.confidence[done]
-            exits[idx_done] = stage_idx
-            active = active[~done]
-            activation = activation[~done]
-            if active.size == 0:
-                break
-        return labels, exits, confidences
 
     def __repr__(self) -> str:
         stages = ", ".join(s.name for s in self.stages)

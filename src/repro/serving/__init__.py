@@ -1,0 +1,56 @@
+"""Batched early-exit inference serving.
+
+Turns a fitted :class:`~repro.cdl.network.CDLN` into a long-lived
+service: a :class:`ModelRegistry` of named/versioned models, an
+:class:`InferenceEngine` that coalesces single requests into dynamic
+micro-batches of stage-wise cascade execution, a budget-aware
+:class:`DeltaController` that adapts the runtime threshold to an ops
+budget, and :class:`ServingMetrics` tracking throughput, latency
+percentiles, exit-stage histograms and energy.
+
+Attribute access is lazy (PEP 562): :mod:`repro.cdl.network` imports the
+shared executor from :mod:`repro.serving.cascade`, so eagerly importing
+the engine modules here would create an import cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS = {
+    "CascadeResult": "repro.serving.cascade",
+    "CascadeStageRecord": "repro.serving.cascade",
+    "execute_cascade": "repro.serving.cascade",
+    "MicroBatchPolicy": "repro.serving.batching",
+    "MicroBatcher": "repro.serving.batching",
+    "ModelEntry": "repro.serving.registry",
+    "ModelRegistry": "repro.serving.registry",
+    "CalibrationPoint": "repro.serving.controller",
+    "DeltaCalibration": "repro.serving.controller",
+    "DeltaController": "repro.serving.controller",
+    "simulate_exit_stages": "repro.serving.controller",
+    "MetricsSnapshot": "repro.serving.metrics",
+    "ServingMetrics": "repro.serving.metrics",
+    "AsyncInferenceEngine": "repro.serving.engine",
+    "InferenceEngine": "repro.serving.engine",
+    "InferenceResponse": "repro.serving.engine",
+    "Ticket": "repro.serving.engine",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

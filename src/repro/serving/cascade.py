@@ -1,0 +1,172 @@
+"""The shared conditional-cascade executor.
+
+One loop implements Algorithm 2 for every consumer in the repo:
+
+* the batched offline path (:meth:`repro.cdl.network.CDLN.predict`),
+* the single-instance trace (:func:`repro.cdl.inference.classify_instance`),
+* the serving engine's micro-batches (:mod:`repro.serving.engine`).
+
+The executor keeps a *shrinking active set*: after every linear stage the
+terminated inputs are scattered into the result arrays and only the
+still-active residual is forwarded to deeper backbone segments -- so deep
+layers run on ever-smaller batches, mirroring the hardware behaviour where
+deeper layers are simply not enabled.
+
+Hot-path notes: backbone segments materialize fresh contiguous buffers, so
+the per-stage feature matrix is a zero-copy ``reshape`` view of the segment
+output, and the active set is compacted only when at least one input
+actually exited (a no-exit stage costs no copy at all).  Stage records hold
+views into those buffers rather than per-row copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cdl imports us)
+    from repro.cdl.network import CDLN
+
+
+@dataclass(frozen=True)
+class CascadeStageRecord:
+    """What one stage saw and decided for the inputs still active there."""
+
+    stage_index: int
+    stage_name: str
+    #: Global (within-batch) indices of the inputs that reached this stage.
+    active_indices: np.ndarray
+    #: Raw stage confidence scores for the active inputs, ``(A, C)``.
+    scores: np.ndarray
+    #: Stage-predicted label per active input, ``(A,)``.
+    labels: np.ndarray
+    #: Stage confidence per active input, ``(A,)``.
+    confidences: np.ndarray
+    #: True where the stage terminated the input, ``(A,)``.
+    terminated: np.ndarray
+
+
+@dataclass(frozen=True)
+class CascadeResult:
+    """Per-input outcome of one conditional cascade execution."""
+
+    #: Predicted label per input, ``(N,)``.
+    labels: np.ndarray
+    #: Stage index each input exited at, ``(N,)``.
+    exit_stages: np.ndarray
+    #: Confidence the exiting stage reported, ``(N,)``.
+    confidences: np.ndarray
+    #: Per-stage decision records (only when ``record_stages=True``).
+    stage_records: tuple[CascadeStageRecord, ...] | None = None
+
+
+def execute_cascade(
+    cdln: "CDLN",
+    images: np.ndarray,
+    delta: float | None = None,
+    *,
+    max_stage: int | None = None,
+    record_stages: bool = False,
+) -> CascadeResult:
+    """Run one batch through the conditional cascade (Algorithm 2).
+
+    Parameters
+    ----------
+    cdln:
+        A fitted :class:`~repro.cdl.network.CDLN`.
+    images:
+        Batch shaped ``(N, *input_shape)``.
+    delta:
+        Runtime confidence threshold (defaults to the activation module's).
+    max_stage:
+        Optional hard depth cap: every input still active at this stage is
+        force-terminated with the stage's argmax label, regardless of
+        confidence.  This is how the budget-aware delta controller turns a
+        hard ops budget into a guarantee -- no input can pay for layers past
+        the deepest affordable exit.
+    record_stages:
+        Collect a :class:`CascadeStageRecord` per executed stage (used by
+        the instance tracer; adds no copies, records hold views).
+    """
+    num_stages = len(cdln.stages)
+    if max_stage is not None and not 0 <= max_stage < num_stages:
+        raise ConfigurationError(
+            f"max_stage must lie in [0, {num_stages}), got {max_stage}"
+        )
+    n = images.shape[0]
+    labels = np.full(n, -1, dtype=np.int64)
+    exits = np.full(n, -1, dtype=np.int64)
+    confidences = np.zeros(n, dtype=np.float64)
+    records: list[CascadeStageRecord] = []
+    active = np.arange(n)
+    activation = images
+    cursor = 0  # next baseline layer to execute
+    for stage_idx, stage in enumerate(cdln.stages):
+        if stage.is_final:
+            out = cdln.baseline.run_segment(activation, cursor, None)
+            verdict = cdln.activation_module.decide(
+                out,
+                delta,
+                scores_are_probabilities=cdln._final_outputs_are_probabilities(),
+            )
+            labels[active] = verdict.labels
+            confidences[active] = verdict.confidence
+            exits[active] = stage_idx
+            if record_stages:
+                records.append(
+                    CascadeStageRecord(
+                        stage_index=stage_idx,
+                        stage_name=stage.name,
+                        active_indices=active,
+                        scores=out,
+                        labels=verdict.labels,
+                        confidences=verdict.confidence,
+                        terminated=np.ones(active.shape[0], dtype=bool),
+                    )
+                )
+            break
+        stop = stage.attach_index + 1
+        activation = cdln.baseline.run_segment(activation, cursor, stop)
+        cursor = stop
+        # run_segment returns a fresh contiguous buffer, so this is a view.
+        feats = activation.reshape(active.shape[0], -1)
+        scores = stage.classifier.confidence_scores(feats)
+        verdict = cdln.activation_module.decide(
+            scores, delta, scores_are_probabilities=True
+        )
+        if max_stage is not None and stage_idx >= max_stage:
+            done = np.ones(active.shape[0], dtype=bool)
+        else:
+            done = verdict.terminate
+        if record_stages:
+            records.append(
+                CascadeStageRecord(
+                    stage_index=stage_idx,
+                    stage_name=stage.name,
+                    active_indices=active,
+                    scores=scores,
+                    labels=verdict.labels,
+                    confidences=verdict.confidence,
+                    terminated=done,
+                )
+            )
+        if done.any():
+            idx_done = active[done]
+            labels[idx_done] = verdict.labels[done]
+            confidences[idx_done] = verdict.confidence[done]
+            exits[idx_done] = stage_idx
+            keep = ~done
+            active = active[keep]
+            activation = activation[keep]
+            if active.size == 0:
+                break
+    return CascadeResult(
+        labels=labels,
+        exit_stages=exits,
+        confidences=confidences,
+        stage_records=tuple(records) if record_stages else None,
+    )

@@ -1,0 +1,300 @@
+"""Budget-aware runtime control of the confidence threshold delta.
+
+The paper's Section V.E observes that delta "can be easily adjusted during
+runtime to achieve the best tradeoff between accuracy and efficiency" --
+but it never says *how* to pick it.  In a serving context the natural
+formulation is a budget: "spend at most B ops (or pJ) per request on
+average", or "never spend more than B on any single request".
+
+:class:`DeltaController` implements both:
+
+* **Soft (mean) budget** -- a calibration pass computes every stage's
+  confidence scores once for a sample workload, then *simulates* the
+  cascade's exit pattern for a whole grid of deltas in pure numpy (stage
+  decisions are per-input, so the simulation is exact, not approximate).
+  The resulting delta -> mean-ops curve is inverted to pick the operating
+  point closest to the budget, and a multiplicative feedback term keeps
+  the choice honest when live traffic drifts from the calibration sample.
+* **Hard (per-request) budget** -- translated into a depth cap: the
+  deepest stage whose cumulative exit cost fits the budget.  The executor
+  force-terminates every input there, so the guarantee holds per request
+  by construction, not statistically.
+
+Costs close the loop with :mod:`repro.ops.counting` via the model's
+:class:`~repro.ops.profile.PathCostTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ops.profile import PathCostTable
+from repro.utils.logging import get_logger
+
+_log = get_logger("serving.controller")
+
+_DEFAULT_GRID = tuple(np.round(np.linspace(0.02, 0.98, 49), 4))
+
+
+def simulate_exit_stages(
+    stage_scores: list[np.ndarray],
+    activation_module,
+    delta: float,
+    num_stages: int,
+    *,
+    max_stage: int | None = None,
+    num_inputs: int | None = None,
+) -> np.ndarray:
+    """Exit stage per input given precomputed per-stage confidence scores.
+
+    ``stage_scores[i]`` holds the ``(N, C)`` scores of linear stage ``i``
+    for the *full* sample.  Because every stage's verdict for an input
+    depends only on that input's scores, replaying the decide/terminate
+    loop over these arrays reproduces the real executor's exits exactly.
+    """
+    if len(stage_scores) != num_stages - 1:
+        raise ConfigurationError(
+            f"expected scores for {num_stages - 1} linear stages, "
+            f"got {len(stage_scores)}"
+        )
+    n = stage_scores[0].shape[0] if stage_scores else int(num_inputs or 0)
+    exits = np.full(n, num_stages - 1, dtype=np.int64)
+    active = np.arange(n)
+    for stage_idx, scores in enumerate(stage_scores):
+        verdict = activation_module.decide(
+            scores[active], delta, scores_are_probabilities=True
+        )
+        if max_stage is not None and stage_idx >= max_stage:
+            done = np.ones(active.shape[0], dtype=bool)
+        else:
+            done = verdict.terminate
+        exits[active[done]] = stage_idx
+        active = active[~done]
+        if active.size == 0:
+            break
+    return exits
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One simulated operating point of the delta -> cost curve."""
+
+    delta: float
+    mean_ops: float
+    exit_fractions: np.ndarray
+
+
+@dataclass(frozen=True)
+class DeltaCalibration:
+    """A delta -> mean-ops curve measured on a sample workload."""
+
+    points: tuple[CalibrationPoint, ...]
+    sample_size: int
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError("calibration needs at least one point")
+
+    def point_for_delta(self, delta: float) -> CalibrationPoint:
+        """The calibrated point whose delta is nearest to ``delta``."""
+        deltas = np.array([p.delta for p in self.points])
+        return self.points[int(np.abs(deltas - delta).argmin())]
+
+    def best_for_budget(self, target_mean_ops: float) -> CalibrationPoint:
+        """The point whose predicted mean ops is closest to the target.
+
+        Ties break toward the cheaper point, so a borderline budget errs
+        on the side of saving energy rather than spending it.
+        """
+        ops = np.array([p.mean_ops for p in self.points])
+        best = np.abs(ops - target_mean_ops).min()
+        candidates = [
+            p for p in self.points if abs(p.mean_ops - target_mean_ops) <= best + 1e-9
+        ]
+        return min(candidates, key=lambda p: p.mean_ops)
+
+    @property
+    def min_mean_ops(self) -> float:
+        return min(p.mean_ops for p in self.points)
+
+    @property
+    def max_mean_ops(self) -> float:
+        return max(p.mean_ops for p in self.points)
+
+
+class DeltaController:
+    """Adapts the runtime delta so serving cost tracks a budget.
+
+    Parameters
+    ----------
+    target_mean_ops:
+        Soft budget: desired mean scalar OPS per request.  Requires a
+        calibration (the engine calibrates lazily on its first micro-batch
+        if :meth:`calibrate` was never called explicitly).
+    hard_ops_budget:
+        Hard budget: no single request may pay more than this.  Enforced
+        structurally through :meth:`max_stage`.
+    delta:
+        Initial / fallback threshold used before any calibration exists.
+    delta_grid:
+        Candidate thresholds swept during calibration.
+    feedback_smoothing:
+        EWMA factor for the observed/predicted cost ratio (0 disables
+        feedback; 1 trusts only the latest batch).
+    """
+
+    def __init__(
+        self,
+        *,
+        target_mean_ops: float | None = None,
+        hard_ops_budget: float | None = None,
+        delta: float = 0.6,
+        delta_grid: tuple[float, ...] = _DEFAULT_GRID,
+        feedback_smoothing: float = 0.2,
+    ) -> None:
+        if target_mean_ops is None and hard_ops_budget is None:
+            raise ConfigurationError(
+                "DeltaController needs target_mean_ops and/or hard_ops_budget"
+            )
+        if target_mean_ops is not None and target_mean_ops <= 0:
+            raise ConfigurationError(
+                f"target_mean_ops must be > 0, got {target_mean_ops}"
+            )
+        if hard_ops_budget is not None and hard_ops_budget <= 0:
+            raise ConfigurationError(
+                f"hard_ops_budget must be > 0, got {hard_ops_budget}"
+            )
+        if not delta_grid:
+            raise ConfigurationError("delta_grid must not be empty")
+        if not 0.0 <= feedback_smoothing <= 1.0:
+            raise ConfigurationError(
+                f"feedback_smoothing must lie in [0, 1], got {feedback_smoothing}"
+            )
+        self.target_mean_ops = target_mean_ops
+        self.hard_ops_budget = hard_ops_budget
+        self.delta_grid = tuple(float(d) for d in delta_grid)
+        self.feedback_smoothing = float(feedback_smoothing)
+        self._delta = float(delta)
+        self._calibration: DeltaCalibration | None = None
+        self._cost_ratio = 1.0  # EWMA of observed / predicted mean ops
+
+    # -- state -----------------------------------------------------------------
+    @property
+    def delta(self) -> float:
+        """The threshold the engine should use for the next batch."""
+        return self._delta
+
+    @property
+    def calibration(self) -> DeltaCalibration | None:
+        return self._calibration
+
+    @property
+    def needs_calibration(self) -> bool:
+        return self.target_mean_ops is not None and self._calibration is None
+
+    def max_stage(self, costs: PathCostTable) -> int | None:
+        """Depth cap implementing the hard budget (None when unconstrained).
+
+        The deepest stage whose cumulative exit cost fits the budget; every
+        input is force-terminated there, so per-request cost can never
+        exceed the budget.
+        """
+        if self.hard_ops_budget is None:
+            return None
+        totals = costs.exit_totals()
+        affordable = np.nonzero(totals <= self.hard_ops_budget)[0]
+        if affordable.size == 0:
+            raise ConfigurationError(
+                f"hard_ops_budget={self.hard_ops_budget:g} is below the "
+                f"cheapest exit ({totals[0]:g} ops at stage "
+                f"{costs.stage_names[0]!r}); no cascade depth can satisfy it"
+            )
+        deepest = int(affordable.max())
+        return None if deepest == costs.num_stages - 1 else deepest
+
+    # -- calibration ------------------------------------------------------------
+    def calibrate(self, cdln, images: np.ndarray) -> DeltaCalibration:
+        """Sweep the delta grid on a sample workload and pick the operating point.
+
+        Stage scores are computed once (one feature-extraction pass); each
+        grid delta is then evaluated by exact numpy simulation, so even a
+        dense grid costs a fraction of one real predict pass.
+        """
+        if not cdln.is_fitted:
+            raise NotFittedError("cannot calibrate against an unfitted CDLN")
+        if images.shape[0] == 0:
+            raise ConfigurationError("calibration needs at least one image")
+        costs = cdln.path_cost_table()
+        totals = costs.exit_totals()
+        cap = self.max_stage(costs)
+        features = cdln.extract_features(images)
+        stage_scores = [
+            stage.classifier.confidence_scores(features[stage.attach_index])
+            for stage in cdln.linear_stages
+        ]
+        points = []
+        for delta in self.delta_grid:
+            exits = simulate_exit_stages(
+                stage_scores,
+                cdln.activation_module,
+                delta,
+                costs.num_stages,
+                max_stage=cap,
+                num_inputs=images.shape[0],
+            )
+            fractions = np.bincount(exits, minlength=costs.num_stages) / exits.shape[0]
+            points.append(
+                CalibrationPoint(
+                    delta=float(delta),
+                    mean_ops=float(totals[exits].mean()),
+                    exit_fractions=fractions,
+                )
+            )
+        self._calibration = DeltaCalibration(
+            points=tuple(points), sample_size=int(images.shape[0])
+        )
+        self._repick()
+        _log.info(
+            "calibrated on %d images: delta=%.3f predicted %.3g mean ops",
+            images.shape[0],
+            self._delta,
+            self._calibration.point_for_delta(self._delta).mean_ops,
+        )
+        return self._calibration
+
+    # -- feedback ---------------------------------------------------------------
+    def observe(self, mean_ops: float, batch_size: int) -> None:
+        """Fold one served batch's measured mean cost into the feedback loop."""
+        if (
+            self.target_mean_ops is None
+            or self._calibration is None
+            or batch_size <= 0
+            or self.feedback_smoothing == 0.0
+        ):
+            return
+        predicted = self._calibration.point_for_delta(self._delta).mean_ops
+        if predicted <= 0:
+            return
+        ratio = mean_ops / predicted
+        alpha = self.feedback_smoothing
+        self._cost_ratio = (1 - alpha) * self._cost_ratio + alpha * ratio
+        self._repick()
+
+    def _repick(self) -> None:
+        if self.target_mean_ops is None or self._calibration is None:
+            return
+        # Live traffic costing r times the calibration sample means the
+        # curve is effectively scaled by r; aim for target / r instead.
+        effective = self.target_mean_ops / max(self._cost_ratio, 1e-9)
+        self._delta = self._calibration.best_for_budget(effective).delta
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaController(delta={self._delta:.3f}, "
+            f"target_mean_ops={self.target_mean_ops}, "
+            f"hard_ops_budget={self.hard_ops_budget}, "
+            f"calibrated={self._calibration is not None})"
+        )

@@ -1,0 +1,402 @@
+"""The inference engine: requests in, budget-accounted answers out.
+
+:class:`InferenceEngine` turns a fitted CDLN (held in a
+:class:`~repro.serving.registry.ModelRegistry`) into a long-lived service.
+Single requests are coalesced by the dynamic micro-batcher into
+stage-wise cascade executions (:func:`~repro.serving.cascade.execute_cascade`),
+so the deep backbone segments only ever see the small residual of each
+micro-batch that the early stages could not classify.  Every
+:class:`InferenceResponse` carries the exit stage's exact scalar OPS and
+energy (pJ) from the model's warm cost tables, and an optional
+:class:`~repro.serving.controller.DeltaController` adapts the runtime
+threshold between batches to hold an ops budget.
+
+Two entry styles:
+
+* synchronous, in-process -- ``submit()`` + ``flush()`` (or the
+  ``classify`` / ``classify_many`` shortcuts); no threads involved.
+* :class:`AsyncInferenceEngine` -- a worker-thread facade whose ``submit``
+  returns immediately; the worker drains a queue under the micro-batch
+  policy (dispatching when the batch fills or ``max_wait_s`` elapses).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.serving.batching import MicroBatcher, MicroBatchPolicy, collect_from_queue
+from repro.serving.cascade import execute_cascade
+from repro.serving.controller import DeltaController
+from repro.serving.metrics import ServingMetrics
+from repro.serving.registry import ModelEntry, ModelRegistry
+from repro.utils.logging import get_logger
+
+_log = get_logger("serving.engine")
+
+#: Smallest first batch the engine will lazily calibrate a controller on;
+#: a degenerate sample would pin the delta->ops curve to a handful of
+#: inputs.  Below this the engine serves at the controller's fallback
+#: delta and keeps waiting for a proper sample (or an explicit
+#: ``calibrate()``).
+_MIN_LAZY_CALIBRATION = 16
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """One request's answer plus its exact serving cost."""
+
+    request_id: int
+    label: int
+    exit_stage: int
+    exit_stage_name: str
+    confidence: float
+    delta: float
+    #: Scalar OPS this request paid (exit-stage cost from the PathCostTable).
+    ops: float
+    #: Energy this request paid under the engine's technology model.
+    energy_pj: float
+    model_spec: str
+    batch_size: int
+    latency_s: float
+
+
+class Ticket:
+    """A pending request's handle; resolves to an :class:`InferenceResponse`."""
+
+    __slots__ = ("request_id", "_event", "_response")
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: InferenceResponse | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> InferenceResponse:
+        """Block until the response is available (engines resolve tickets
+        on dispatch; with the synchronous engine, call ``flush()`` first)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not answered within {timeout}s"
+            )
+        return self._response
+
+    def _resolve(self, response: InferenceResponse) -> None:
+        self._response = response
+        self._event.set()
+
+
+@dataclass
+class _Pending:
+    image: np.ndarray
+    ticket: Ticket
+    enqueued_at: float
+
+
+class InferenceEngine:
+    """Synchronous in-process serving of one registered model.
+
+    Parameters
+    ----------
+    model:
+        A fitted CDLN or TrainedCdl; registered as ``"default"`` in a
+        fresh registry.  Mutually exclusive with ``registry``.
+    registry:
+        An existing :class:`ModelRegistry`; ``model_spec`` picks the entry.
+    model_spec:
+        ``"name"`` or ``"name:version"`` to serve from the registry.
+    policy:
+        Micro-batch dispatch policy.
+    controller:
+        Optional budget-aware delta controller.  With a soft target it is
+        calibrated lazily on the first micro-batch unless
+        :meth:`calibrate` was called with a proper sample first.
+    delta:
+        Fixed runtime threshold when no controller is installed (defaults
+        to the model's activation-module delta).
+    """
+
+    def __init__(
+        self,
+        model=None,
+        *,
+        registry: ModelRegistry | None = None,
+        model_spec: str = "default",
+        policy: MicroBatchPolicy | None = None,
+        controller: DeltaController | None = None,
+        delta: float | None = None,
+    ) -> None:
+        if (model is None) == (registry is None):
+            raise ConfigurationError(
+                "pass exactly one of `model` (a fitted CDLN / TrainedCdl) "
+                "or `registry`"
+            )
+        if registry is None:
+            registry = ModelRegistry()
+            registry.register("default", model)
+        self.registry = registry
+        self.policy = policy or MicroBatchPolicy()
+        self.controller = controller
+        self.delta = delta
+        self._entry: ModelEntry = registry.resolve(model_spec)
+        self._entry.warm()
+        self.metrics = ServingMetrics(self._entry.cdln.stage_names)
+        self._batcher = MicroBatcher(self.policy)
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._warned_uncalibrated = False
+
+    # -- model management -------------------------------------------------------
+    @property
+    def entry(self) -> ModelEntry:
+        return self._entry
+
+    def use_model(self, model_spec: str) -> ModelEntry:
+        """Re-point the engine at another registry entry (hot swap).
+
+        Metrics keep accumulating across the swap -- stage counts only
+        carry over when the stage layout matches; otherwise they reset.
+        """
+        entry = self.registry.resolve(model_spec)
+        entry.warm()
+        with self._lock:
+            if entry.cdln.stage_names != self._entry.cdln.stage_names:
+                self.metrics = ServingMetrics(entry.cdln.stage_names)
+            self._entry = entry
+        _log.info("engine now serving %s", entry.spec)
+        return entry
+
+    def calibrate(self, images: np.ndarray) -> None:
+        """Calibrate the installed controller on a sample workload."""
+        if self.controller is None:
+            raise ConfigurationError("engine has no DeltaController installed")
+        self.controller.calibrate(self._entry.cdln, images)
+
+    # -- request intake ---------------------------------------------------------
+    def _coerce_image(self, image: np.ndarray) -> np.ndarray:
+        expected = self._entry.cdln.baseline.input_shape
+        image = np.asarray(image)
+        if image.shape == expected:
+            return image
+        if image.shape == (1, *expected):
+            return image[0]
+        raise ShapeError(
+            f"image must have shape {expected} or {(1, *expected)}, got {image.shape}"
+        )
+
+    def submit(self, image: np.ndarray) -> Ticket:
+        """Enqueue one request; answers arrive on the next ``flush()``."""
+        pending = self._make_pending(image)
+        with self._lock:
+            self._batcher.add(pending)
+        return pending.ticket
+
+    def _make_pending(self, image: np.ndarray) -> _Pending:
+        return _Pending(
+            image=self._coerce_image(image),
+            ticket=Ticket(next(self._ids)),
+            enqueued_at=perf_counter(),
+        )
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._batcher)
+
+    # -- dispatch ---------------------------------------------------------------
+    def flush(self) -> int:
+        """Serve everything pending in policy-sized micro-batches.
+
+        Returns the number of requests answered.
+        """
+        served = 0
+        while True:
+            with self._lock:
+                batch = self._batcher.next_batch()
+            if not batch:
+                return served
+            self._process_batch(batch)
+            served += len(batch)
+
+    def classify(self, image: np.ndarray) -> InferenceResponse:
+        """Answer one request now (still batched with anything pending)."""
+        ticket = self.submit(image)
+        self.flush()
+        return ticket.result(timeout=0)
+
+    def classify_many(self, images: np.ndarray) -> list[InferenceResponse]:
+        """Submit a whole array of requests and serve them micro-batched."""
+        tickets = [self.submit(image) for image in images]
+        self.flush()
+        return [t.result(timeout=0) for t in tickets]
+
+    def _process_batch(self, batch: list[_Pending]) -> None:
+        with self._lock:
+            # Snapshot both together so a concurrent use_model() cannot
+            # leave an in-flight batch recording old-model exit stages
+            # into a new model's metrics.
+            entry = self._entry
+            metrics = self.metrics
+        controller = self.controller
+        # Contiguous batch buffer: stage features are then pure views.
+        images = np.stack([p.image for p in batch])
+        if controller is not None and controller.needs_calibration:
+            if len(batch) >= _MIN_LAZY_CALIBRATION:
+                # Lazy fallback; prefer an explicit engine.calibrate(sample).
+                controller.calibrate(entry.cdln, images)
+            elif not self._warned_uncalibrated:
+                self._warned_uncalibrated = True
+                _log.warning(
+                    "controller has a soft ops target but no calibration and "
+                    "the batch is too small (%d < %d) to calibrate on; serving "
+                    "at delta=%.3f until calibrate() is called or a larger "
+                    "batch arrives",
+                    len(batch),
+                    _MIN_LAZY_CALIBRATION,
+                    controller.delta,
+                )
+        if controller is not None:
+            delta = controller.delta
+            max_stage = controller.max_stage(entry.cost_table)
+        else:
+            delta = self.delta
+            max_stage = None
+        result = execute_cascade(entry.cdln, images, delta, max_stage=max_stage)
+        ops = entry.exit_ops[result.exit_stages]
+        energies = entry.exit_energies_pj[result.exit_stages]
+        stage_names = entry.cdln.stage_names
+        effective_delta = (
+            delta if delta is not None else entry.cdln.activation_module.delta
+        )
+        now = perf_counter()
+        latencies = np.array(
+            [now - p.enqueued_at for p in batch], dtype=np.float64
+        )
+        for i, pending in enumerate(batch):
+            stage = int(result.exit_stages[i])
+            pending.ticket._resolve(
+                InferenceResponse(
+                    request_id=pending.ticket.request_id,
+                    label=int(result.labels[i]),
+                    exit_stage=stage,
+                    exit_stage_name=stage_names[stage],
+                    confidence=float(result.confidences[i]),
+                    delta=float(effective_delta),
+                    ops=float(ops[i]),
+                    energy_pj=float(energies[i]),
+                    model_spec=entry.spec,
+                    batch_size=len(batch),
+                    latency_s=float(latencies[i]),
+                )
+            )
+        metrics.record_batch(
+            latencies_s=latencies,
+            exit_stages=result.exit_stages,
+            ops=ops,
+            energies_pj=energies,
+        )
+        if controller is not None:
+            controller.observe(float(ops.mean()), len(batch))
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceEngine(model={self._entry.spec}, policy={self.policy}, "
+            f"controller={self.controller})"
+        )
+
+
+class AsyncInferenceEngine:
+    """Worker-thread facade over an :class:`InferenceEngine`.
+
+    ``submit`` returns a :class:`Ticket` immediately from any thread; a
+    single background worker coalesces the queue under the engine's
+    micro-batch policy (batch fills or ``max_wait_s`` elapses) and
+    dispatches.  Use as a context manager::
+
+        with AsyncInferenceEngine(engine) as server:
+            tickets = [server.submit(img) for img in images]
+            answers = [t.result(timeout=5.0) for t in tickets]
+    """
+
+    def __init__(self, engine: InferenceEngine) -> None:
+        self.engine = engine
+        self._queue: queue.Queue = queue.Queue()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "AsyncInferenceEngine":
+        if self.running:
+            raise ConfigurationError("async engine is already running")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serving-worker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, drain: bool = True, timeout: float | None = 10.0) -> None:
+        """Shut the worker down, by default after answering the backlog.
+
+        Raises :class:`TimeoutError` if the worker is still mid-backlog
+        when ``timeout`` expires; the engine then stays in the running
+        state (the worker will exit at the sentinel) and ``stop()`` can be
+        called again.
+        """
+        thread = self._thread
+        if thread is None:
+            return
+        if thread.is_alive():
+            if not drain:
+                # Drop the backlog: unanswered tickets simply never resolve.
+                while True:
+                    try:
+                        self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+            self._queue.put(None)
+            thread.join(timeout)
+            if thread.is_alive():
+                raise TimeoutError(
+                    f"serving worker still draining after {timeout}s; "
+                    "call stop() again (the shutdown sentinel stays queued)"
+                )
+        self._thread = None
+        # Clear the sentinel so a restarted worker does not see stale stop
+        # signals.
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+
+    def submit(self, image: np.ndarray) -> Ticket:
+        if not self.running:
+            raise ConfigurationError("async engine is not running; call start()")
+        pending = self.engine._make_pending(image)
+        self._queue.put(pending)
+        return pending.ticket
+
+    def _run(self) -> None:
+        while True:
+            batch = collect_from_queue(self._queue, self.engine.policy)
+            if batch is None:
+                continue  # idle poll; loop so stop() can interleave
+            if not batch:
+                return  # sentinel: shut down
+            self.engine._process_batch(batch)
+
+    def __enter__(self) -> "AsyncInferenceEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,158 @@
+"""Per-request serving telemetry.
+
+:class:`ServingMetrics` is the engine's flight recorder: every dispatched
+micro-batch reports its size, per-request queue-to-answer latencies, exit
+stages, and op/energy costs.  :meth:`ServingMetrics.snapshot` folds the
+window into the numbers an operator watches -- throughput, p50/p95
+latency, the exit-stage histogram (the serving-side view of Fig. 8's
+"most inputs stop early"), and cumulative energy.
+
+All recording goes through one lock so the synchronous engine, the async
+worker thread, and any monitoring thread can share an instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.tables import AsciiTable
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A consistent point-in-time view of the serving counters."""
+
+    requests: int
+    batches: int
+    mean_batch_size: float
+    elapsed_s: float
+    throughput_rps: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    exit_stage_counts: np.ndarray
+    stage_names: tuple[str, ...]
+    mean_ops: float
+    total_energy_pj: float
+    mean_energy_pj: float
+
+    def exit_stage_fractions(self) -> np.ndarray:
+        total = self.exit_stage_counts.sum()
+        return self.exit_stage_counts / max(total, 1)
+
+    def render(self) -> str:
+        table = AsciiTable(["metric", "value"], title="Serving metrics")
+        table.add_row(["requests", self.requests])
+        table.add_row(["batches", self.batches])
+        table.add_row(["mean batch size", round(self.mean_batch_size, 2)])
+        table.add_row(["throughput (req/s)", round(self.throughput_rps, 1)])
+        table.add_row(["latency mean (ms)", round(self.latency_mean_s * 1e3, 3)])
+        table.add_row(["latency p50 (ms)", round(self.latency_p50_s * 1e3, 3)])
+        table.add_row(["latency p95 (ms)", round(self.latency_p95_s * 1e3, 3)])
+        fractions = "/".join(f"{f:.2f}" for f in self.exit_stage_fractions())
+        table.add_row([f"exit fractions ({'/'.join(self.stage_names)})", fractions])
+        table.add_row(["mean OPS / request", round(self.mean_ops, 1)])
+        table.add_row(["mean energy / request (pJ)", round(self.mean_energy_pj, 1)])
+        table.add_row(["total energy (uJ)", round(self.total_energy_pj / 1e6, 3)])
+        return table.render()
+
+
+class ServingMetrics:
+    """Thread-safe accumulator of per-batch serving measurements.
+
+    Latencies are kept in a bounded window (percentiles over the full
+    history of a long-lived service would be meaningless anyway); counts,
+    ops and energy accumulate over the service lifetime.
+    """
+
+    def __init__(
+        self, stage_names: tuple[str, ...], *, latency_window: int = 8192
+    ) -> None:
+        if not stage_names:
+            raise ConfigurationError("stage_names must not be empty")
+        check_positive_int(latency_window, "latency_window")
+        self.stage_names = tuple(stage_names)
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self._requests = 0
+        self._batches = 0
+        self._exit_counts = np.zeros(len(self.stage_names), dtype=np.int64)
+        self._total_ops = 0.0
+        self._total_energy_pj = 0.0
+        self._latencies.clear()
+        self._started_at: float | None = None
+        self._last_at: float | None = None
+
+    def reset(self) -> None:
+        with self._lock:
+            self._reset_locked()
+
+    def record_batch(
+        self,
+        *,
+        latencies_s: np.ndarray,
+        exit_stages: np.ndarray,
+        ops: np.ndarray,
+        energies_pj: np.ndarray,
+    ) -> None:
+        """Fold one dispatched micro-batch into the counters."""
+        now = perf_counter()
+        size = int(exit_stages.shape[0])
+        counts = np.bincount(exit_stages, minlength=len(self.stage_names))
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = now
+            self._last_at = now
+            self._requests += size
+            self._batches += 1
+            self._exit_counts += counts
+            self._total_ops += float(ops.sum())
+            self._total_energy_pj += float(energies_pj.sum())
+            self._latencies.extend(float(v) for v in latencies_s)
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            latencies = np.array(self._latencies, dtype=np.float64)
+            elapsed = (
+                (self._last_at - self._started_at)
+                if self._started_at is not None and self._last_at is not None
+                else 0.0
+            )
+            requests = self._requests
+            batches = self._batches
+            counts = self._exit_counts.copy()
+            total_ops = self._total_ops
+            total_energy = self._total_energy_pj
+        has_latency = latencies.size > 0
+        return MetricsSnapshot(
+            requests=requests,
+            batches=batches,
+            mean_batch_size=requests / max(batches, 1),
+            elapsed_s=elapsed,
+            throughput_rps=requests / elapsed if elapsed > 0 else 0.0,
+            latency_mean_s=float(latencies.mean()) if has_latency else 0.0,
+            latency_p50_s=float(np.percentile(latencies, 50)) if has_latency else 0.0,
+            latency_p95_s=float(np.percentile(latencies, 95)) if has_latency else 0.0,
+            exit_stage_counts=counts,
+            stage_names=self.stage_names,
+            mean_ops=total_ops / max(requests, 1),
+            total_energy_pj=total_energy,
+            mean_energy_pj=total_energy / max(requests, 1),
+        )
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"ServingMetrics(requests={snap.requests}, batches={snap.batches}, "
+            f"throughput={snap.throughput_rps:.1f} req/s)"
+        )

@@ -1,0 +1,204 @@
+"""Named, versioned registry of fitted CDLN models.
+
+The registry decouples *which* model serves from *how* it serves: engines
+resolve a ``"name"`` or ``"name:version"`` spec to a :class:`ModelEntry`
+and can be re-pointed at a newer version without restarting.  Warming an
+entry precomputes everything the request path needs per exit stage -- the
+:class:`~repro.ops.profile.PathCostTable`, scalar OPS and energy (pJ)
+lookup arrays -- and primes the backbone with one dummy forward pass, so
+the first real request pays no cold-start cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.energy.models import opcount_energy
+from repro.energy.technology import TECHNOLOGY_45NM, TechnologyModel
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ops.profile import PathCostTable
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive_int
+
+_log = get_logger("serving.registry")
+
+
+@dataclass
+class ModelEntry:
+    """One registered (name, version) pair plus its warm serving artifacts."""
+
+    name: str
+    version: int
+    cdln: "object"  # a fitted repro.cdl.network.CDLN
+    technology: TechnologyModel = TECHNOLOGY_45NM
+    _cost_table: PathCostTable | None = field(default=None, repr=False)
+    _exit_ops: np.ndarray | None = field(default=None, repr=False)
+    _exit_energies_pj: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def spec(self) -> str:
+        return f"{self.name}:{self.version}"
+
+    @property
+    def is_warm(self) -> bool:
+        return self._cost_table is not None
+
+    def warm(self) -> "ModelEntry":
+        """Precompute per-exit-stage cost tables and prime the backbone."""
+        if self.is_warm:
+            return self
+        table = self.cdln.path_cost_table()
+        self._cost_table = table
+        self._exit_ops = table.exit_totals()
+        self._exit_energies_pj = np.array(
+            [opcount_energy(c, self.technology) for c in table.exit_costs],
+            dtype=np.float64,
+        )
+        dummy = np.zeros((1, *self.cdln.baseline.input_shape), dtype=np.float64)
+        self.cdln.baseline.forward(dummy)
+        _log.info("warmed model %s", self.spec)
+        return self
+
+    def cool(self) -> None:
+        """Drop the warm artifacts (they rebuild lazily on next use)."""
+        self._cost_table = None
+        self._exit_ops = None
+        self._exit_energies_pj = None
+
+    @property
+    def cost_table(self) -> PathCostTable:
+        self.warm()
+        return self._cost_table
+
+    @property
+    def exit_ops(self) -> np.ndarray:
+        """Scalar OPS paid when exiting at each stage, ``(num_stages,)``."""
+        self.warm()
+        return self._exit_ops
+
+    @property
+    def exit_energies_pj(self) -> np.ndarray:
+        """Energy (pJ) paid when exiting at each stage, ``(num_stages,)``."""
+        self.warm()
+        return self._exit_energies_pj
+
+
+class ModelRegistry:
+    """Thread-safe store of fitted models keyed by ``(name, version)``.
+
+    ``register`` accepts either a fitted :class:`~repro.cdl.network.CDLN`
+    or a :class:`~repro.cdl.training.TrainedCdl` bundle (its ``.cdln`` is
+    taken).  Versions auto-increment per name unless given explicitly.
+    """
+
+    def __init__(self, technology: TechnologyModel = TECHNOLOGY_45NM) -> None:
+        self.technology = technology
+        self._entries: dict[tuple[str, int], ModelEntry] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self, name: str, model, *, version: int | None = None, warm: bool = True
+    ) -> ModelEntry:
+        if not name or ":" in name:
+            raise ConfigurationError(
+                f"model name must be non-empty and contain no ':', got {name!r}"
+            )
+        cdln = getattr(model, "cdln", model)
+        if not getattr(cdln, "is_fitted", False):
+            raise NotFittedError(
+                f"cannot register unfitted model {name!r}; "
+                "call fit_linear_classifiers() first"
+            )
+        with self._lock:
+            if version is None:
+                version = max(self._versions_locked(name), default=0) + 1
+            else:
+                version = check_positive_int(version, "version")
+                if (name, version) in self._entries:
+                    raise ConfigurationError(
+                        f"model {name}:{version} is already registered"
+                    )
+            entry = ModelEntry(
+                name=name, version=version, cdln=cdln, technology=self.technology
+            )
+            self._entries[(name, version)] = entry
+        if warm:
+            entry.warm()
+        _log.info("registered model %s", entry.spec)
+        return entry
+
+    def get(self, name: str, version: int | None = None) -> ModelEntry:
+        """Look up a version of ``name`` (the latest when unspecified)."""
+        with self._lock:
+            if version is None:
+                versions = self._versions_locked(name)
+                if not versions:
+                    known = sorted({n for n, _ in self._entries})
+                    raise ConfigurationError(
+                        f"no model named {name!r}; registered: {known}"
+                    )
+                version = max(versions)
+            try:
+                return self._entries[(name, int(version))]
+            except KeyError:
+                raise ConfigurationError(
+                    f"no model {name}:{version}; "
+                    f"versions of {name!r}: {self._versions_locked(name)}"
+                ) from None
+
+    def resolve(self, spec: str) -> ModelEntry:
+        """Resolve ``"name"`` or ``"name:version"`` to an entry."""
+        name, sep, version = spec.partition(":")
+        if not sep:
+            return self.get(name)
+        try:
+            number = int(version)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad model spec {spec!r}; expected 'name' or 'name:version'"
+            ) from None
+        return self.get(name, number)
+
+    def evict(self, name: str, version: int | None = None) -> int:
+        """Remove one version (or every version) of ``name``.
+
+        Returns the number of entries removed; unknown names raise.
+        """
+        with self._lock:
+            if version is None:
+                keys = [(n, v) for n, v in self._entries if n == name]
+            else:
+                keys = [(name, int(version))] if (name, int(version)) in self._entries else []
+            if not keys:
+                raise ConfigurationError(
+                    f"no model {name!r}"
+                    + (f" version {version}" if version is not None else "")
+                    + " to evict"
+                )
+            for key in keys:
+                del self._entries[key]
+        _log.info("evicted %d entr%s of model %r", len(keys), "y" if len(keys) == 1 else "ies", name)
+        return len(keys)
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted({n for n, _ in self._entries}))
+
+    def versions(self, name: str) -> tuple[int, ...]:
+        with self._lock:
+            return self._versions_locked(name)
+
+    def _versions_locked(self, name: str) -> tuple[int, ...]:
+        return tuple(sorted(v for n, v in self._entries if n == name))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            specs = sorted(f"{n}:{v}" for n, v in self._entries)
+        return f"ModelRegistry({specs})"
