@@ -1,53 +1,10 @@
 """Ablation: confidence-policy comparison (beyond the paper).
 
-The paper describes its termination rule in prose that admits several
-readings; this bench compares the four implemented policies at a common δ
-on the same trained MNIST_3C cascade.  The two-criterion rule (the
-default) should sit on the accuracy-efficient frontier; the ambiguity-only
-rule should be the most aggressive (lowest OPS) and pay for it in
-accuracy -- the behaviour behind Fig. 10's post-peak collapse.
+Compares the four implemented termination policies at a common δ on the
+same trained MNIST_3C cascade.  Body and check:
+``repro.bench.suites.ablations``.
 """
 
-from repro.cdl.confidence import ActivationModule
-from repro.cdl.statistics import evaluate_cdln
-from repro.experiments.common import get_datasets, get_trained
-from repro.utils.tables import AsciiTable
 
-POLICIES = ("score_threshold", "max_probability", "margin", "ambiguity")
-
-
-def _compare(scale, seed, delta=0.6):
-    _train, test = get_datasets(scale, seed)
-    trained = get_trained("mnist_3c", scale, seed)
-    cdln = trained.cdln
-    original = cdln.activation_module
-    rows = {}
-    try:
-        for policy in POLICIES:
-            cdln.activation_module = ActivationModule(delta=delta, policy=policy)
-            ev = evaluate_cdln(cdln, test, delta=delta)
-            rows[policy] = (ev.accuracy, ev.normalized_ops)
-    finally:
-        cdln.activation_module = original
-    return rows
-
-
-def test_ablation_confidence_policies(benchmark, scale, seed, report):
-    rows = benchmark.pedantic(
-        lambda: _compare(scale, seed), rounds=2, iterations=1, warmup_rounds=1
-    )
-    table = AsciiTable(
-        ["policy", "accuracy (%)", "normalized OPS"],
-        title="Ablation -- confidence policy at delta=0.6 (MNIST_3C)",
-    )
-    for policy, (acc, ops) in rows.items():
-        table.add_row([policy, round(acc * 100, 2), round(ops, 3)])
-    report("Ablation: confidence policies", table.render())
-
-    # Ambiguity-only is the most aggressive exiter.
-    assert rows["ambiguity"][1] <= min(ops for _, ops in rows.values()) + 1e-9
-    # ...and pays in accuracy relative to the two-criterion default.
-    assert rows["ambiguity"][0] <= rows["score_threshold"][0] + 1e-9
-    # Every policy still saves work relative to the baseline.
-    for policy, (_acc, ops) in rows.items():
-        assert ops < 1.0, policy
+def test_ablation_confidence_policies(run_spec):
+    run_spec("ablation_confidence_policies")

@@ -1,51 +1,10 @@
 """Ablation: the admission threshold epsilon of Algorithm 1.
 
-Sweeping epsilon shows the admission mechanism at work: epsilon = 0 keeps
-exactly the stages that pay for themselves (O1 + O2 on MNIST_3C, matching
-the paper's Fig. 9 break-even); a prohibitive epsilon strips the cascade
-back to the mandatory first stage.
+epsilon = 0 keeps exactly the stages that pay for themselves (O1 + O2 on
+MNIST_3C); a prohibitive epsilon strips the cascade back to the mandatory
+first stage.  Body and check: ``repro.bench.suites.ablations``.
 """
 
-from repro.cdl.gain import admit_stages
-from repro.experiments.common import get_datasets, get_trained
-from repro.utils.tables import AsciiTable
 
-EPSILONS = (0.0, 1_000.0, 1e12)
-
-
-def _sweep(scale, seed, delta=0.6):
-    train, _test = get_datasets(scale, seed)
-    trained = get_trained("mnist_3c", scale, seed, attach="all")
-    kept = {}
-    for epsilon in EPSILONS:
-        cdln = trained.cdln.clone_with_stages(
-            [s.name for s in trained.cdln.linear_stages]
-        )
-        result = admit_stages(cdln, train.images, epsilon=epsilon, delta=delta)
-        kept[epsilon] = tuple(result.kept)
-    return kept
-
-
-def test_ablation_gain_epsilon(benchmark, scale, seed, report):
-    kept = benchmark.pedantic(
-        lambda: _sweep(scale, seed), rounds=2, iterations=1, warmup_rounds=1
-    )
-    table = AsciiTable(
-        ["epsilon", "stages kept"],
-        title="Ablation -- admission threshold epsilon (MNIST_3C, all taps)",
-    )
-    for epsilon, stages in kept.items():
-        table.add_row([f"{epsilon:g}", "-".join(stages)])
-    report("Ablation: gain epsilon", table.render())
-
-    # Monotonicity: a stricter threshold never keeps more stages.
-    sizes = [len(kept[e]) for e in EPSILONS]
-    assert all(b <= a for a, b in zip(sizes, sizes[1:]))
-    # The mandatory first stage always survives.
-    for stages in kept.values():
-        assert "O1" in stages
-    # A prohibitive epsilon strips everything optional.
-    assert kept[1e12] == ("O1",)
-    # At epsilon=0 the deepest stage does not pay for itself (paper Fig. 9:
-    # the third stage is past the break-even).
-    assert "O3" not in kept[0.0]
+def test_ablation_gain_epsilon(run_spec):
+    run_spec("ablation_gain_epsilon")

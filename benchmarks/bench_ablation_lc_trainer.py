@@ -1,56 +1,10 @@
 """Ablation: linear-classifier training rule (LMS vs ridge vs softmax).
 
-The paper trains its stages with the least-mean-square rule and argues
-they converge to the linear classifiers' global minimum; the ridge rule
-jumps straight to that minimum.  This bench verifies the iterative LMS
-cascade lands near the closed-form one, and that softmax regression is a
-viable alternative.
+The iterative LMS cascade must land near the closed-form ridge one, and
+softmax regression must be a viable alternative.  Body and check:
+``repro.bench.suites.ablations``.
 """
 
-from repro.cdl.statistics import evaluate_cdln
-from repro.cdl.confidence import ActivationModule
-from repro.cdl.linear_classifier import LinearClassifier
-from repro.cdl.network import CDLN
-from repro.experiments.common import get_datasets, get_trained
-from repro.utils.tables import AsciiTable
 
-RULES = ("ridge", "lms", "softmax")
-
-
-def _compare(scale, seed, delta=0.6):
-    train, test = get_datasets(scale, seed)
-    baseline = get_trained("mnist_3c", scale, seed).baseline
-    rows = {}
-    for rule in RULES:
-        cdln = CDLN(
-            baseline,
-            (1, 3),
-            activation_module=ActivationModule(delta=delta),
-            classifier_factory=lambda: LinearClassifier(
-                10, rule=rule, epochs=30, l2=0.05, rng=0
-            ),
-        )
-        cdln.fit_linear_classifiers(train.images, train.labels)
-        ev = evaluate_cdln(cdln, test, delta=delta)
-        rows[rule] = (ev.accuracy, ev.normalized_ops)
-    return rows
-
-
-def test_ablation_lc_training_rule(benchmark, scale, seed, report):
-    rows = benchmark.pedantic(
-        lambda: _compare(scale, seed), rounds=2, iterations=1, warmup_rounds=1
-    )
-    table = AsciiTable(
-        ["rule", "accuracy (%)", "normalized OPS"],
-        title="Ablation -- stage training rule (MNIST_3C)",
-    )
-    for rule, (acc, ops) in rows.items():
-        table.add_row([rule, round(acc * 100, 2), round(ops, 3)])
-    report("Ablation: LC training rule", table.render())
-
-    # Iterative LMS approaches the closed-form global minimum's behaviour.
-    assert abs(rows["lms"][0] - rows["ridge"][0]) < 0.05
-    # Every rule yields a working conditional cascade.
-    for rule, (acc, ops) in rows.items():
-        assert acc > 0.8, rule
-        assert ops < 1.0, rule
+def test_ablation_lc_training_rule(run_spec):
+    run_spec("ablation_lc_training_rule")

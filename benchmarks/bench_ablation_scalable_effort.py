@@ -1,86 +1,9 @@
 """Ablation: CDL vs a scalable-effort cascade of independent models ([1]).
 
-The paper builds on Venkataramani et al.'s scalable-effort classifiers but
-replaces their chain of *independent* models with taps into one shared
-convolutional trunk.  This bench quantifies what the sharing buys: the
-independent cascade re-pays every upstream model for forwarded inputs, so
-its worst-case cost exceeds its own biggest model, while the CDLN's
-forwarded inputs reuse the features already computed.
+Quantifies what sharing the convolutional trunk buys over a chain of
+independent models.  Body and check: ``repro.bench.suites.ablations``.
 """
 
-from repro.baselines.scalable_effort import ScalableEffortCascade
-from repro.cdl.confidence import ActivationModule
-from repro.cdl.statistics import evaluate_cdln
-from repro.experiments.common import get_datasets, get_trained
-from repro.nn import Adam, Dense, Flatten, Network, Trainer
-from repro.utils.tables import AsciiTable
 
-
-def _small_model(rng):
-    return Network(
-        [Flatten(), Dense(10, activation="softmax")],
-        input_shape=(1, 28, 28),
-        rng=rng,
-    )
-
-
-def _compare(scale, seed, delta=0.6):
-    train, test = get_datasets(scale, seed)
-    trained = get_trained("mnist_3c", scale, seed)
-
-    # Independent cascade: a linear model, then the full CNN.
-    small = _small_model(seed)
-    Trainer(small, loss="softmax_cross_entropy", optimizer=Adam(0.01), rng=seed).fit(
-        train.images, train.labels, epochs=3
-    )
-    cascade = ScalableEffortCascade(
-        [small, trained.baseline],
-        ActivationModule(delta=delta, policy="score_threshold"),
-    )
-    se = cascade.evaluate(test, delta=delta)
-    cdl = evaluate_cdln(trained.cdln, test, delta=delta)
-    # Overhead paid by an input that travels the whole chain, relative to
-    # just running the big model: SE re-pays every upstream model in full,
-    # CDL only pays its (feature-reusing) linear classifiers.
-    se_deep_overhead = float(cascade.stage_costs()[-1]) - se.baseline_ops
-    cdl_costs = cdl.ops.costs
-    cdl_deep_overhead = float(
-        cdl_costs.exit_totals()[-1] - cdl_costs.baseline_cost.total
-    )
-    return {
-        "scalable_effort": (se.accuracy, se.average_ops, se.baseline_ops),
-        "cdl": (cdl.accuracy, cdl.ops.average_ops, cdl.ops.baseline_ops),
-        "deep_overhead": (se_deep_overhead, cdl_deep_overhead),
-    }
-
-
-def test_ablation_scalable_effort(benchmark, scale, seed, report):
-    rows = benchmark.pedantic(
-        lambda: _compare(scale, seed), rounds=2, iterations=1, warmup_rounds=1
-    )
-    se_deep_overhead, cdl_deep_overhead = rows["deep_overhead"]
-    table = AsciiTable(
-        ["system", "accuracy (%)", "avg OPS", "normalized", "deep-path overhead"],
-        title="Ablation -- CDL vs independent scalable-effort cascade",
-    )
-    overheads = {"scalable_effort": se_deep_overhead, "cdl": cdl_deep_overhead}
-    for name in ("scalable_effort", "cdl"):
-        acc, ops, base = rows[name]
-        table.add_row(
-            [name, round(acc * 100, 2), int(ops), round(ops / base, 3),
-             int(overheads[name])]
-        )
-    report("Ablation: scalable-effort baseline", table.render())
-
-    se_acc, se_ops, se_base = rows["scalable_effort"]
-    cdl_acc, cdl_ops, cdl_base = rows["cdl"]
-    # Both approaches save work vs running the big model on everything.
-    assert cdl_ops < cdl_base
-    assert se_ops < se_base * 1.2
-    # CDL never trades accuracy away against the independent cascade: its
-    # exits use learned CNN features rather than a raw-pixel model.
-    assert cdl_acc >= se_acc - 0.02
-    # The structural advantage of sharing the trunk: an input that travels
-    # the whole CDL cascade only re-pays the small linear classifiers,
-    # while the independent cascade re-pays its entire upstream model.
-    assert cdl_deep_overhead < se_deep_overhead * 1.5
+def test_ablation_scalable_effort(run_spec):
+    run_spec("ablation_scalable_effort")

@@ -1,26 +1,10 @@
 """Fig. 10 bench: the efficiency/accuracy tradeoff under δ.
 
 Paper: accuracy 96.12 % at δ=0.4, peak 99.02 % at δ=0.5, degrading beyond;
-normalized OPS 1.1 -> 0.51 over the same range.  Shape asserted: δ is a
-pure runtime knob that moves OPS by a wide margin; accuracy dips below its
-peak somewhere in the sweep (the misclassified-early-exit regime) and the
-best accuracy sits at or above the baseline's.
+normalized OPS 1.1 -> 0.51 over the same range.  Body and check:
+``repro.bench.suites.figures``.
 """
 
-from repro.experiments import fig10_delta_sweep
 
-
-def test_fig10_delta_sweep(benchmark, scale, seed, report):
-    result = benchmark.pedantic(
-        lambda: fig10_delta_sweep.run(scale, seed), rounds=3, iterations=1, warmup_rounds=1
-    )
-    report("Fig. 10 -- efficiency vs accuracy tradeoff", result.render())
-    ops = result.normalized_ops
-    acc = result.accuracies
-    # The knob covers a wide efficiency range (paper: 1.1 down to 0.51).
-    assert ops.min() < 0.7
-    assert ops.max() > ops.min() * 1.2
-    # Somewhere in the sweep accuracy pays for aggressive early exits.
-    assert acc.min() < acc.max() - 0.005
-    # The peak-accuracy configuration matches or beats the baseline.
-    assert acc.max() >= result.baseline_accuracy_reference - 0.005
+def test_fig10_delta_sweep(run_spec):
+    run_spec("fig10_delta_sweep")

@@ -2,23 +2,9 @@
 
 Paper numbers: 1.46x-1.99x per digit (avg 1.73x) for MNIST_2C and
 1.50x-2.32x (avg 1.91x) for MNIST_3C; digit 1 gains most, digit 5 least.
-Shape asserted here: both averages comfortably above 1, a real spread
-across digits, and the per-digit easy/hard ordering.
+Body, metrics and shape-check live in ``repro.bench.suites.figures``.
 """
 
-import numpy as np
 
-from repro.experiments import fig5_ops
-
-
-def test_fig5_ops_per_digit(benchmark, scale, seed, report):
-    result = benchmark.pedantic(
-        lambda: fig5_ops.run(scale, seed), rounds=3, iterations=1, warmup_rounds=1
-    )
-    report("Fig. 5 -- normalized OPS per digit", result.render())
-    assert result.average_2c > 1.3
-    assert result.average_3c > 1.3
-    # A genuine per-digit spread exists (paper: 1.50-2.32 for 3C).
-    assert result.improvement_3c.max() / result.improvement_3c.min() > 1.15
-    # Digit 1 is among the easiest (top-3 benefit), as in the paper.
-    assert 1 in np.argsort(-result.improvement_3c)[:3]
+def test_fig5_ops_per_digit(run_spec):
+    run_spec("fig5_ops")

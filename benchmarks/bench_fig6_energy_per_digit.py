@@ -2,20 +2,9 @@
 
 Paper numbers: avg 1.71x (MNIST_2C), 1.84x (MNIST_3C) -- each slightly
 below the corresponding OPS improvement because some energy is paid
-regardless of exit depth.
+regardless of exit depth.  Body and check: ``repro.bench.suites.figures``.
 """
 
-from repro.experiments import fig6_energy
 
-
-def test_fig6_energy_per_digit(benchmark, scale, seed, report):
-    result = benchmark.pedantic(
-        lambda: fig6_energy.run(scale, seed), rounds=3, iterations=1, warmup_rounds=1
-    )
-    report("Fig. 6 -- normalized energy per digit", result.render())
-    assert result.average_2c > 1.3
-    assert result.average_3c > 1.3
-    # The paper's overhead effect: energy gain < OPS gain, but close.
-    assert result.average_2c < result.ops_average_2c
-    assert result.average_3c < result.ops_average_3c
-    assert result.average_3c > 0.85 * result.ops_average_3c
+def test_fig6_energy_per_digit(run_spec):
+    run_spec("fig6_energy")

@@ -1,25 +1,10 @@
 """Fig. 7 bench: accuracy as output layers are added one at a time.
 
 Paper: 97.55 % (baseline) -> 97.65 % (O1-FC) -> up to 98.92 % with three
-linear classifiers, while the fraction of inputs misclassified by the
-final layer progressively decreases.  Shape asserted: adding stages does
-not erode accuracy, and FC traffic shrinks monotonically.
+linear classifiers, while FC traffic progressively decreases.  Body and
+check: ``repro.bench.suites.figures``.
 """
 
-from repro.experiments import fig7_accuracy_stages
 
-
-def test_fig7_accuracy_vs_stages(benchmark, scale, seed, report):
-    result = benchmark.pedantic(
-        lambda: fig7_accuracy_stages.run(scale, seed),
-        rounds=3, iterations=1, warmup_rounds=1,
-    )
-    report("Fig. 7 -- accuracy vs number of output layers", result.render())
-    assert len(result.configurations) == 3
-    # FC traffic shrinks monotonically with stage count (paper: 42->5->3 %).
-    fractions = result.final_stage_fractions
-    assert all(b <= a + 1e-9 for a, b in zip(fractions, fractions[1:]))
-    # Deeper cascades stay within noise of the best configuration and the
-    # full cascade does not lose accuracy vs the single-stage one.
-    assert result.accuracies[-1] >= result.accuracies[0] - 0.005
-    assert result.accuracies.max() >= result.baseline_accuracy - 0.005
+def test_fig7_accuracy_vs_stages(run_spec):
+    run_spec("fig7_accuracy_stages")

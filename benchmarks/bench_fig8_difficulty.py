@@ -1,30 +1,10 @@
 """Fig. 8 bench: energy benefit vs input difficulty.
 
 Paper: digits ordered by decreasing benefit put 1 first and 5 last; FC is
-activated for ~1 % of digit-1 inputs vs ~6 % of digit-5 inputs; even the
-hardest digit keeps >= 1.5x benefit (we assert >= 1.15x at bench scale).
+activated for ~1 % of digit-1 inputs vs ~6 % of digit-5 inputs.  Body and
+check: ``repro.bench.suites.figures``.
 """
 
-import numpy as np
 
-from repro.experiments import fig8_difficulty
-
-
-def test_fig8_difficulty(benchmark, scale, seed, report):
-    result = benchmark.pedantic(
-        lambda: fig8_difficulty.run(scale, seed), rounds=3, iterations=1, warmup_rounds=1
-    )
-    report("Fig. 8 -- energy benefit vs difficulty", result.render())
-    # Even the hardest digit retains a clear benefit.
-    assert result.energy_improvement[-1] > 1.15
-    # Digit 1 is among the easiest digits, and it reaches FC far less often
-    # than the hardest digit (paper: 1 % vs 6 %).
-    order = list(result.digit_order)
-    assert order.index(1) <= 2
-    fc_easy = result.fc_fraction[0]
-    fc_hard = result.fc_fraction[-1]
-    assert fc_hard > fc_easy
-    # The continuous version: benefit decreases across difficulty quintiles.
-    q = result.quintile_energy_improvement
-    assert q[0] > q[-1]
-    assert np.all(np.isfinite(q))
+def test_fig8_difficulty(run_spec):
+    run_spec("fig8_difficulty")

@@ -2,21 +2,9 @@
 
 Paper: OPS falls from O1-FC to O1-O2-FC (break-even, 0.45 normalized) and
 rises again with O1-O2-O3-FC, while FC traffic shrinks 42 % -> 5 % -> 3 %.
-Shape asserted: FC traffic monotonically decreases, every configuration
-beats the baseline, and the OPS minimum is NOT at the deepest cascade --
-the third stage's overhead outweighs its marginal traffic reduction.
+Body and check: ``repro.bench.suites.figures``.
 """
 
-from repro.experiments import fig9_stage_sweep
 
-
-def test_fig9_stage_sweep(benchmark, scale, seed, report):
-    result = benchmark.pedantic(
-        lambda: fig9_stage_sweep.run(scale, seed), rounds=3, iterations=1, warmup_rounds=1
-    )
-    report("Fig. 9 -- OPS vs number of stages", result.render())
-    assert (result.normalized_ops < 1.0).all()
-    fractions = result.fc_fractions
-    assert all(b <= a + 1e-9 for a, b in zip(fractions, fractions[1:]))
-    # The break-even sits before the deepest configuration (paper: at 2).
-    assert result.break_even_stage_count < 3
+def test_fig9_stage_sweep(run_spec):
+    run_spec("fig9_stage_sweep")

@@ -1,148 +1,25 @@
 """Serving bench: micro-batched throughput, budget tracking, hot path.
 
-Three claims are measured and asserted:
+Three claims are measured and asserted (bodies and checks in
+``repro.bench.suites.serving``):
 
-* **Micro-batching pays**: the engine serving one-request-at-a-time
-  arrivals through dynamic micro-batches sustains >= 2x the throughput of
-  the naive one-request-per-``predict`` loop (the cascade makes this
-  cheap -- most of each micro-batch exits at stage 1, so deep segments
-  see only small residual batches).
-* **The delta controller holds a budget**: after calibrating on warmup
-  traffic, the served mean OPS/request lands within 10 % of the requested
-  soft budget.
-* **The batched hot path stays fast**: per-input cost at batch 256 is
-  well under half the batch-1 cost (guards the view-based, no-copy
-  stage loop against churn regressions), and the single-instance tracer
-  stays within a small factor of a batch-1 predict.
+* **Micro-batching pays**: the engine sustains >= 2x the naive
+  one-request-per-``predict`` loop.
+* **The delta controller holds a budget**: served mean OPS/request lands
+  within 10 % of the requested soft budget after calibration.
+* **The batched hot path stays fast**: per-input cost at a large batch is
+  well under half the batch-1 cost, and the single-instance tracer stays
+  within a small factor of a batch-1 predict.
 """
 
-from time import perf_counter
 
-import numpy as np
-
-from repro.cdl.inference import classify_instance
-from repro.experiments.common import get_datasets, get_trained
-from repro.serving import DeltaController, InferenceEngine, MicroBatchPolicy
-from repro.utils.tables import AsciiTable
-
-DELTA = 0.6
+def test_serving_throughput_vs_naive(run_spec):
+    run_spec("serving_throughput")
 
 
-def test_serving_throughput_vs_naive(benchmark, scale, seed, report):
-    trained = get_trained("mnist_3c", scale, seed=seed)
-    _, test = get_datasets(scale, seed=seed)
-    images = test.images[: min(400, len(test))]
-    cdln = trained.cdln
-
-    # Naive reference: every request pays its own full predict() call.
-    start = perf_counter()
-    naive_labels = [
-        int(cdln.predict(image[None], delta=DELTA).labels[0]) for image in images
-    ]
-    naive_s = perf_counter() - start
-
-    engine = InferenceEngine(
-        model=cdln, delta=DELTA, policy=MicroBatchPolicy(max_batch_size=64)
-    )
-
-    def serve():
-        tickets = [engine.submit(image) for image in images]
-        engine.flush()
-        return [t.result(timeout=0) for t in tickets]
-
-    responses = benchmark.pedantic(serve, rounds=3, iterations=1, warmup_rounds=1)
-    start = perf_counter()
-    serve()
-    engine_s = perf_counter() - start
-
-    naive_rps = len(images) / naive_s
-    engine_rps = len(images) / engine_s
-    snap = engine.metrics.snapshot()
-    table = AsciiTable(["path", "req/s", "speedup"], title="Serving throughput")
-    table.add_row(["naive 1-per-predict", round(naive_rps, 1), "1.00x"])
-    table.add_row(
-        ["micro-batched engine", round(engine_rps, 1), f"{engine_rps / naive_rps:.2f}x"]
-    )
-    report("Serving -- micro-batched vs naive", table.render() + "\n" + snap.render())
-
-    # Same answers, much faster.
-    assert [r.label for r in responses] == naive_labels
-    assert engine_rps >= 2.0 * naive_rps
+def test_delta_controller_holds_budget(run_spec):
+    run_spec("serving_delta_budget")
 
 
-def test_delta_controller_holds_budget(benchmark, scale, seed, report):
-    trained = get_trained("mnist_3c", scale, seed=seed)
-    _, test = get_datasets(scale, seed=seed)
-    cdln = trained.cdln
-    baseline_ops = float(cdln.path_cost_table().baseline_cost.total)
-    budget = 0.75 * baseline_ops
-    warmup = test.images[: max(len(test) // 3, 50)]
-
-    def serve():
-        controller = DeltaController(target_mean_ops=budget)
-        engine = InferenceEngine(
-            model=cdln,
-            controller=controller,
-            policy=MicroBatchPolicy(max_batch_size=128),
-        )
-        engine.calibrate(warmup)
-        responses = engine.classify_many(test.images)
-        return controller, responses
-
-    controller, responses = benchmark.pedantic(
-        serve, rounds=3, iterations=1, warmup_rounds=1
-    )
-    measured = float(np.mean([r.ops for r in responses]))
-    predicted = controller.calibration.point_for_delta(controller.delta).mean_ops
-    table = AsciiTable(["quantity", "OPS/request"], title="Budget-aware delta control")
-    table.add_row(["baseline (unconditional)", round(baseline_ops)])
-    table.add_row(["requested budget", round(budget)])
-    table.add_row(["calibration prediction", round(predicted)])
-    table.add_row(["served (measured)", round(measured)])
-    table.add_row(["final delta", round(controller.delta, 3)])
-    report("Serving -- delta controller vs ops budget", table.render())
-
-    assert abs(measured - budget) <= 0.10 * budget
-
-
-def test_cascade_hot_path_micro(benchmark, scale, seed, report):
-    """Micro-benchmark guarding the shared executor's hot path.
-
-    Batching must amortize: per-input time at batch 256 stays under half
-    the batch-1 cost.  And the single-instance tracer (which now rides
-    the same executor with stage recording) stays within 3x of a batch-1
-    predict -- it used to pay per-stage reshape/copy churn on top.
-    """
-    trained = get_trained("mnist_3c", scale, seed=seed)
-    _, test = get_datasets(scale, seed=seed)
-    cdln = trained.cdln
-    big = test.images[: min(256, len(test))]
-    singles = test.images[:32]
-
-    def batched():
-        return cdln.predict(big, delta=DELTA)
-
-    benchmark.pedantic(batched, rounds=3, iterations=1, warmup_rounds=1)
-
-    start = perf_counter()
-    batched()
-    per_input_batched = (perf_counter() - start) / len(big)
-
-    start = perf_counter()
-    for image in singles:
-        cdln.predict(image[None], delta=DELTA)
-    per_input_single = (perf_counter() - start) / len(singles)
-
-    start = perf_counter()
-    for image in singles:
-        classify_instance(cdln, image, delta=DELTA)
-    per_input_trace = (perf_counter() - start) / len(singles)
-
-    table = AsciiTable(["path", "us / input"], title="Cascade hot path")
-    table.add_row(["predict, batch 256", round(per_input_batched * 1e6, 1)])
-    table.add_row(["predict, batch 1", round(per_input_single * 1e6, 1)])
-    table.add_row(["classify_instance (trace)", round(per_input_trace * 1e6, 1)])
-    report("Cascade hot path micro-benchmark", table.render())
-
-    assert per_input_batched <= 0.5 * per_input_single
-    assert per_input_trace <= 3.0 * per_input_single
+def test_cascade_hot_path_micro(run_spec):
+    run_spec("serving_hot_path")

@@ -2,59 +2,26 @@
 
 Not a paper figure -- these keep the library's own performance honest
 (inference and training throughput of the two reproduced architectures,
-plus the synthetic data generator).
+the synthetic data generator, and conditional inference wall-clock).
+Bodies and checks: ``repro.bench.suites.substrate``.
 """
 
-import numpy as np
 
-from repro.cdl.architectures import mnist_2c, mnist_3c
-from repro.data.synthetic_mnist import generate_synthetic_mnist
-from repro.nn import Adam, Trainer
+def test_bench_mnist_2c_inference(run_spec):
+    run_spec("substrate_mnist_2c_inference")
 
 
-def test_bench_mnist_2c_inference(benchmark):
-    net, _ = mnist_2c(rng=0)
-    images = np.random.default_rng(0).random((256, 1, 28, 28))
-    out = benchmark(lambda: net.predict(images, batch_size=256))
-    assert out.shape == (256, 10)
+def test_bench_mnist_3c_inference(run_spec):
+    run_spec("substrate_mnist_3c_inference")
 
 
-def test_bench_mnist_3c_inference(benchmark):
-    net, _ = mnist_3c(rng=0)
-    images = np.random.default_rng(0).random((256, 1, 28, 28))
-    out = benchmark(lambda: net.predict(images, batch_size=256))
-    assert out.shape == (256, 10)
+def test_bench_mnist_3c_training_epoch(run_spec):
+    run_spec("substrate_mnist_3c_training_epoch")
 
 
-def test_bench_mnist_3c_training_epoch(benchmark):
-    images = np.random.default_rng(0).random((256, 1, 28, 28))
-    labels = np.random.default_rng(1).integers(0, 10, 256)
-
-    def one_epoch():
-        net, _ = mnist_3c(rng=0)
-        trainer = Trainer(
-            net, loss="softmax_cross_entropy", optimizer=Adam(0.005), rng=0
-        )
-        return trainer.fit(images, labels, epochs=1)
-
-    history = benchmark.pedantic(one_epoch, rounds=3, iterations=1, warmup_rounds=1)
-    assert len(history.epochs) == 1
+def test_bench_synthetic_generation(run_spec):
+    run_spec("substrate_synthetic_generation")
 
 
-def test_bench_synthetic_generation(benchmark):
-    dataset = benchmark.pedantic(
-        lambda: generate_synthetic_mnist(200, rng=0),
-        rounds=3, iterations=1, warmup_rounds=1,
-    )
-    assert len(dataset) == 200
-
-
-def test_bench_conditional_inference(benchmark, scale, seed):
-    """Conditional inference should be cheaper in wall-clock too, not just
-    in modelled OPS: time the CDLN against the full baseline."""
-    from repro.experiments.common import get_datasets, get_trained
-
-    _train, test = get_datasets(scale, seed)
-    trained = get_trained("mnist_3c", scale, seed)
-    result = benchmark(lambda: trained.cdln.predict(test.images, delta=0.6))
-    assert (result.labels >= 0).all()
+def test_bench_conditional_inference(run_spec):
+    run_spec("substrate_conditional_inference")

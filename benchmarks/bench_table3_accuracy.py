@@ -1,22 +1,10 @@
 """Table III bench: accuracy of baseline DLN vs CDLN on both architectures.
 
 Paper numbers: 98.04 % -> 99.05 % (6-layer / MNIST_2C) and 97.55 % ->
-98.92 % (8-layer / MNIST_3C).  Shape asserted: the CDLN never loses
-accuracy against its baseline (small tolerance for seed noise at bench
-scale) and both systems are in the high-nineties regime.
+98.92 % (8-layer / MNIST_3C).  Body and check:
+``repro.bench.suites.figures``.
 """
 
-from repro.experiments import table3_accuracy
 
-
-def test_table3_accuracy(benchmark, scale, seed, report):
-    result = benchmark.pedantic(
-        lambda: table3_accuracy.run(scale, seed), rounds=3, iterations=1, warmup_rounds=1
-    )
-    report("Table III -- accuracy, baseline vs CDLN", result.render())
-    assert result.baseline_2c > 0.9
-    assert result.baseline_3c > 0.9
-    # The paper's headline: conditional classification does not trade
-    # accuracy away -- it matches or improves it.
-    assert result.cdln_2c >= result.baseline_2c - 0.005
-    assert result.cdln_3c >= result.baseline_3c - 0.005
+def test_table3_accuracy(run_spec):
+    run_spec("table3_accuracy")

@@ -1,29 +1,10 @@
 """Table IV bench: example images classified at each stage.
 
-Paper: visually, clean digit-1/digit-5 instances exit at O1 and messy ones
-at FC.  Quantified here through the generator's per-sample difficulty: the
-mean difficulty of correctly classified samples must increase with exit
-depth for the hard digit.
+Paper: clean digit-1/digit-5 instances exit at O1 and messy ones at FC;
+mean generator difficulty of correct samples rises with exit depth.  Body
+and check: ``repro.bench.suites.figures``.
 """
 
-import math
 
-from repro.experiments import table4_examples
-
-
-def test_table4_examples(benchmark, scale, seed, report):
-    result = benchmark.pedantic(
-        lambda: table4_examples.run(scale, seed), rounds=3, iterations=1, warmup_rounds=1
-    )
-    report("Table IV -- example images per exit stage", result.render())
-    # The easy digit exits early: a correct O1 example must exist.
-    assert result.examples[(1, result.stage_names[0])] is not None
-    # Difficulty grows with exit depth for digit 5 wherever both stages
-    # actually classified samples.
-    depths = [
-        result.mean_difficulty[(5, s)]
-        for s in result.stage_names
-        if not math.isnan(result.mean_difficulty[(5, s)])
-    ]
-    assert len(depths) >= 2
-    assert depths[0] < depths[-1]
+def test_table4_examples(run_spec):
+    run_spec("table4_examples")

@@ -1,36 +1,30 @@
-"""Benchmark configuration.
+"""Benchmark configuration: pytest front end for the :mod:`repro.bench` registry.
 
-Every bench runs at ``Scale.small()`` (3000 train / 1000 test, 4 epochs):
-large enough that the paper's shapes are visible, small enough that the
-whole suite finishes in a few minutes on one core.  Training is cached per
-process by :mod:`repro.experiments.common`, so pytest-benchmark's repeated
-rounds time only the measurement (conditional inference + aggregation),
-not training.
+Every ``bench_*.py`` script is a thin wrapper now -- the benchmark bodies,
+their metrics and their qualitative shape-checks live in
+``src/repro/bench/suites/`` where the ``python -m repro.bench`` CLI times
+the very same callables.  The ``run_spec`` fixture resolves a registered
+benchmark, times it with pytest-benchmark under the spec's own
+rounds/warmup protocol, prints the rendered table (shown with ``-s``) and
+enforces the spec's check.
 
-Environment variable ``REPRO_BENCH_SCALE`` (``tiny``/``small``/``full``)
-overrides the scale.
+The scale tier comes from the harness's single mechanism: the
+``REPRO_BENCH_SCALE`` environment variable (``tiny``/``small``/``full``,
+default ``small``), parsed by :func:`repro.bench.tier_from_env`.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.experiments.common import Scale
+from repro.bench import get_benchmark, tier_from_env
 
 _SEED = 0
 
 
 @pytest.fixture(scope="session")
-def scale() -> Scale:
-    name = os.environ.get("REPRO_BENCH_SCALE", "small")
-    return getattr(Scale, name)()
-
-
-@pytest.fixture(scope="session")
-def seed() -> int:
-    return _SEED
+def bench_tier() -> str:
+    return tier_from_env()
 
 
 @pytest.fixture
@@ -42,3 +36,23 @@ def report():
         print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}")
 
     return _report
+
+
+@pytest.fixture
+def run_spec(benchmark, bench_tier, report):
+    """Time a registered benchmark spec and run its shape-check."""
+
+    def _run(name: str):
+        spec = get_benchmark(name)
+        ctx = spec.context(bench_tier, seed=_SEED)
+        result = benchmark.pedantic(
+            lambda: spec(ctx),
+            rounds=spec.rounds,
+            iterations=1,
+            warmup_rounds=spec.warmup_rounds,
+        )
+        report(spec.title, result.text or f"(no rendered output for {name})")
+        spec.run_check(result)
+        return result
+
+    return _run

@@ -1,0 +1,77 @@
+"""repro.bench -- registry-driven benchmark harness.
+
+Turns the benchmark suite from prose into data: every benchmark is a named
+spec in a registry, measured with a warmup/repeat protocol, and serialized
+as a schema-versioned ``BENCH_<name>.json`` (wall time, throughput, RSS,
+model metrics such as mean OPS and pJ per instance, accuracy, plus an
+environment fingerprint).  ``python -m repro.bench`` runs, lists, compares
+against committed baselines with per-metric tolerance bands, and updates
+those baselines.
+
+Two front ends share the registry:
+
+* the CLI/CI path (``python -m repro.bench run|compare``), and
+* the pytest wrappers in ``benchmarks/``, which time the same spec
+  callables via pytest-benchmark and enforce each spec's shape-check.
+"""
+
+from repro.bench.artifact import (
+    SCHEMA,
+    BenchArtifact,
+    artifact_filename,
+    load_artifact,
+    load_artifact_dir,
+)
+from repro.bench.compare import CompareReport, MetricDiff, compare_artifacts, compare_dirs
+from repro.bench.registry import (
+    DEFAULT_TOLERANCE,
+    REGISTRY,
+    TIERS,
+    BenchContext,
+    BenchResult,
+    BenchmarkSpec,
+    Registry,
+    Tolerance,
+    benchmark,
+    get_benchmark,
+    iter_benchmarks,
+    load_suites,
+)
+from repro.bench.runner import (
+    SCALE_ENV_VAR,
+    run_benchmark,
+    run_benchmarks,
+    tier_from_env,
+)
+from repro.bench.timing import TimingStats, current_rss_mb, measure
+
+__all__ = [
+    "SCHEMA",
+    "SCALE_ENV_VAR",
+    "TIERS",
+    "DEFAULT_TOLERANCE",
+    "REGISTRY",
+    "BenchArtifact",
+    "BenchContext",
+    "BenchResult",
+    "BenchmarkSpec",
+    "CompareReport",
+    "MetricDiff",
+    "Registry",
+    "TimingStats",
+    "Tolerance",
+    "artifact_filename",
+    "benchmark",
+    "compare_artifacts",
+    "compare_dirs",
+    "current_rss_mb",
+    "get_benchmark",
+    "iter_benchmarks",
+    "load_artifact",
+    "load_artifact_dir",
+    "load_suites",
+    "measure",
+    "run_benchmark",
+    "run_benchmarks",
+    "tier_from_env",
+]

@@ -1,0 +1,213 @@
+"""Diff a benchmark run against committed baselines: the regression gate.
+
+For every baseline artifact, the matching run artifact must exist, share
+its scale tier, and land every gated metric inside the spec's tolerance
+band.  Wall-clock-derived numbers are informational by default -- CI
+runners are too noisy to gate on -- but ``include_timing`` adds a loose
+band on mean wall time for local use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.artifact import BenchArtifact, load_artifact_dir
+from repro.bench.registry import (
+    REGISTRY,
+    DEFAULT_TOLERANCE,
+    Registry,
+    Tolerance,
+    load_suites,
+)
+from repro.utils.tables import AsciiTable
+
+#: Band used when gating wall time (opt-in): allow a 2x slowdown before
+#: failing, because shared CI runners routinely jitter by tens of percent.
+TIMING_TOLERANCE = Tolerance(rel=1.0)
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One compared metric and its verdict."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    value: float
+    tolerance: Tolerance | None
+    ok: bool
+
+    @property
+    def delta_pct(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.value == 0 else float("inf")
+        return (self.value - self.baseline) / abs(self.baseline) * 100.0
+
+    def describe_band(self) -> str:
+        return self.tolerance.describe() if self.tolerance else "informational"
+
+
+@dataclass
+class CompareReport:
+    """Everything the gate decided, renderable for humans."""
+
+    diffs: list[MetricDiff] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+    unbaselined: list[str] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDiff]:
+        return [d for d in self.diffs if not d.ok]
+
+    @property
+    def passed(self) -> bool:
+        return (
+            not self.regressions
+            and not self.missing
+            and not self.unbaselined
+            and not self.errors
+        )
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.passed else 1
+
+    def render(self) -> str:
+        parts: list[str] = []
+        table = AsciiTable(
+            ["benchmark", "metric", "baseline", "run", "Δ%", "band", "verdict"],
+            title="Benchmark regression gate",
+        )
+        for diff in self.diffs:
+            table.add_row(
+                [
+                    diff.benchmark,
+                    diff.metric,
+                    _fmt(diff.baseline),
+                    _fmt(diff.value),
+                    f"{diff.delta_pct:+.1f}",
+                    diff.describe_band(),
+                    "ok" if diff.ok else "REGRESSION",
+                ]
+            )
+        parts.append(table.render())
+        for name in self.missing:
+            parts.append(f"MISSING: baseline {name!r} has no run artifact")
+        for name in self.unbaselined:
+            parts.append(
+                f"UNBASELINED: run artifact {name!r} has no committed baseline; "
+                "run `python -m repro.bench update-baseline` and commit the diff"
+            )
+        for error in self.errors:
+            parts.append(f"ERROR: {error}")
+        verdict = "PASS" if self.passed else "FAIL"
+        gated = [d for d in self.diffs if d.tolerance is not None]
+        parts.append(
+            f"{verdict}: {len(self.regressions)} regression(s), "
+            f"{len(self.missing)} missing, {len(self.unbaselined)} unbaselined, "
+            f"{len(gated)} gated metric(s) "
+            f"across {len({d.benchmark for d in self.diffs})} benchmark(s)"
+        )
+        return "\n".join(parts)
+
+
+def compare_artifacts(
+    run: BenchArtifact,
+    baseline: BenchArtifact,
+    *,
+    registry: Registry | None = None,
+    include_timing: bool = False,
+) -> CompareReport:
+    """Compare one run artifact against its baseline."""
+    report = CompareReport()
+    if run.tier != baseline.tier:
+        report.errors.append(
+            f"{run.benchmark}: tier mismatch (run {run.tier!r} vs "
+            f"baseline {baseline.tier!r}); rerun at the baseline tier"
+        )
+        return report
+    if run.seed != baseline.seed:
+        report.errors.append(
+            f"{run.benchmark}: seed mismatch (run {run.seed} vs "
+            f"baseline {baseline.seed}); rerun with the baseline seed"
+        )
+        return report
+    spec = None
+    if registry is not None and run.benchmark in registry:
+        spec = registry.get(run.benchmark)
+    for metric, base_value in sorted(baseline.metrics.items()):
+        if metric not in run.metrics:
+            report.errors.append(
+                f"{run.benchmark}: metric {metric!r} vanished from the run"
+            )
+            continue
+        value = run.metrics[metric]
+        tolerance = spec.tolerance_for(metric) if spec else DEFAULT_TOLERANCE
+        ok = tolerance.accepts(value, base_value) if tolerance else True
+        report.diffs.append(
+            MetricDiff(run.benchmark, metric, base_value, value, tolerance, ok)
+        )
+    # Symmetric with the vanished-metric error above: a metric the run
+    # produces but the baseline lacks would otherwise never be gated.
+    for metric in sorted(set(run.metrics) - set(baseline.metrics)):
+        report.errors.append(
+            f"{run.benchmark}: metric {metric!r} has no baseline value; "
+            "refresh baselines with update-baseline"
+        )
+    if include_timing:
+        base_wall = float(baseline.timing.get("wall_s_mean", 0.0))
+        run_wall = float(run.timing.get("wall_s_mean", 0.0))
+        report.diffs.append(
+            MetricDiff(
+                run.benchmark,
+                "wall_s_mean",
+                base_wall,
+                run_wall,
+                TIMING_TOLERANCE,
+                TIMING_TOLERANCE.accepts(run_wall, base_wall),
+            )
+        )
+    return report
+
+
+def compare_dirs(
+    run_dir: Path | str,
+    baseline_dir: Path | str,
+    *,
+    registry: Registry | None = None,
+    include_timing: bool = False,
+) -> CompareReport:
+    """Compare every baseline artifact against the run directory."""
+    if registry is None:
+        load_suites()
+        registry = REGISTRY
+    baselines = load_artifact_dir(baseline_dir)
+    runs = load_artifact_dir(run_dir)
+    report = CompareReport()
+    if not baselines:
+        report.errors.append(f"no baseline artifacts under {baseline_dir}")
+        return report
+    for name, baseline in sorted(baselines.items()):
+        if name not in runs:
+            report.missing.append(name)
+            continue
+        sub = compare_artifacts(
+            runs[name],
+            baseline,
+            registry=registry,
+            include_timing=include_timing,
+        )
+        report.diffs.extend(sub.diffs)
+        report.errors.extend(sub.errors)
+    # A run artifact with no baseline is a benchmark with zero regression
+    # protection -- fail loudly instead of silently never gating it.
+    report.unbaselined = sorted(set(runs) - set(baselines))
+    return report
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4g}"

@@ -1,0 +1,115 @@
+"""Execute registered benchmarks and emit their JSON artifacts."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+from repro.bench.artifact import BenchArtifact
+from repro.bench.environment import environment_fingerprint
+from repro.bench.registry import (
+    TIERS,
+    BenchmarkSpec,
+    Registry,
+    load_suites,
+    REGISTRY,
+)
+from repro.bench.timing import measure
+from repro.errors import ConfigurationError
+
+#: Environment variable consulted by every front end for the scale tier.
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+def tier_from_env(default: str = "small") -> str:
+    """The scale tier named by ``REPRO_BENCH_SCALE`` (validated)."""
+    tier = os.environ.get(SCALE_ENV_VAR, default)
+    if tier not in TIERS:
+        raise ConfigurationError(
+            f"{SCALE_ENV_VAR}={tier!r} is not a scale tier; use one of {TIERS}"
+        )
+    return tier
+
+
+def run_benchmark(
+    spec: BenchmarkSpec,
+    *,
+    tier: str,
+    seed: int = 0,
+    rounds: int | None = None,
+    warmup_rounds: int | None = None,
+    check: bool = False,
+) -> BenchArtifact:
+    """Measure one benchmark and build (but not write) its artifact."""
+    ctx = spec.context(tier, seed=seed)
+    stats, result = measure(
+        lambda: spec(ctx),
+        rounds=rounds if rounds is not None else spec.rounds,
+        warmup_rounds=(
+            warmup_rounds if warmup_rounds is not None else spec.warmup_rounds
+        ),
+    )
+    if check:
+        spec.run_check(result)
+    throughput = (
+        result.units / stats.mean_s
+        if result.units is not None and stats.mean_s > 0
+        else None
+    )
+    return BenchArtifact(
+        benchmark=spec.name,
+        group=spec.group,
+        tier=tier,
+        seed=seed,
+        timing=stats.to_dict(),
+        metrics=dict(result.metrics),
+        environment=environment_fingerprint(),
+        throughput_per_s=throughput,
+        text=result.text,
+    )
+
+
+def run_benchmarks(
+    names: list[str] | None = None,
+    *,
+    tier: str = "small",
+    seed: int = 0,
+    out_dir: Path | str | None = None,
+    rounds: int | None = None,
+    warmup_rounds: int | None = None,
+    check: bool = False,
+    registry: Registry | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchArtifact]:
+    """Run ``names`` (all registered when None) at ``tier``; write artifacts.
+
+    Benchmarks run in registry order (group, then name) so trained-model
+    caching in :mod:`repro.experiments.common` is exercised the same way
+    every run.
+    """
+    if registry is None:
+        load_suites()
+        registry = REGISTRY
+    specs = registry.select(names)
+    if not specs:
+        raise ConfigurationError("no benchmarks registered")
+    artifacts: list[BenchArtifact] = []
+    for spec in specs:
+        if progress:
+            progress(f"[{spec.group}] {spec.name} @ {tier} ...")
+        artifact = run_benchmark(
+            spec,
+            tier=tier,
+            seed=seed,
+            rounds=rounds,
+            warmup_rounds=warmup_rounds,
+            check=check,
+        )
+        if out_dir is not None:
+            artifact.write(out_dir)
+        artifacts.append(artifact)
+        if progress:
+            wall = artifact.timing["wall_s_mean"]
+            progress(f"    done in {wall:.3f}s/round, {len(artifact.metrics)} metrics")
+    return artifacts

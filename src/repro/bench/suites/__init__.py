@@ -1,0 +1,11 @@
+"""Built-in benchmark suites.
+
+Importing this package registers every benchmark in :data:`repro.bench.REGISTRY`
+(module import is the registration side effect; Python's module cache makes
+it idempotent, and the registry's duplicate detection makes accidental
+double-registration loud).
+"""
+
+from repro.bench.suites import ablations, figures, serving, substrate
+
+__all__ = ["ablations", "figures", "serving", "substrate"]

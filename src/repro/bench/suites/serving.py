@@ -1,0 +1,215 @@
+"""Serving-engine benchmarks on the harness.
+
+Three claims from the serving PR, measured and checked:
+
+* micro-batching sustains >= 2x the naive one-request-per-``predict`` loop,
+* the delta controller holds a soft OPS budget within 10 %,
+* the batched hot path amortizes (per-input cost at a large batch is well
+  under half the batch-1 cost) and the instance tracer stays cheap.
+
+Wall-clock ratios are informational in the compare gate (runner-dependent);
+the OPS-model quantities (budget error, mean OPS/energy per request) gate
+with bands.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.bench.registry import BenchContext, BenchResult, Tolerance, benchmark
+from repro.cdl.inference import classify_instance
+from repro.experiments.common import get_datasets, get_trained
+from repro.serving import DeltaController, InferenceEngine, MicroBatchPolicy
+from repro.utils.tables import AsciiTable
+
+GROUP = "serving"
+DELTA = 0.6
+
+
+@benchmark(
+    "serving_throughput",
+    group=GROUP,
+    title="Serving -- micro-batched engine vs naive loop",
+    tiers={
+        "tiny": {"requests": 150},
+        "small": {"requests": 400},
+        "full": {"requests": 1000},
+    },
+    tolerances={
+        "engine_speedup": None,
+        "engine_rps": None,
+        "mean_ops_per_request": Tolerance(rel=0.25),
+        "mean_energy_pj_per_request": Tolerance(rel=0.25),
+        "label_agreement": Tolerance(),
+    },
+)
+def bench_serving_throughput(ctx: BenchContext) -> BenchResult:
+    trained = get_trained("mnist_3c", ctx.scale, seed=ctx.seed)
+    _, test = get_datasets(ctx.scale, seed=ctx.seed)
+    images = test.images[: min(int(ctx.params.get("requests", 400)), len(test))]
+    cdln = trained.cdln
+
+    # Naive reference: every request pays its own full predict() call.
+    start = perf_counter()
+    naive_labels = [
+        int(cdln.predict(image[None], delta=DELTA).labels[0]) for image in images
+    ]
+    naive_s = perf_counter() - start
+
+    engine = InferenceEngine(
+        model=cdln, delta=DELTA, policy=MicroBatchPolicy(max_batch_size=64)
+    )
+    start = perf_counter()
+    tickets = [engine.submit(image) for image in images]
+    engine.flush()
+    responses = [t.result(timeout=0) for t in tickets]
+    engine_s = perf_counter() - start
+
+    naive_rps = len(images) / naive_s
+    engine_rps = len(images) / engine_s
+    snap = engine.metrics.snapshot()
+    agreement = float(
+        np.mean([r.label == label for r, label in zip(responses, naive_labels)])
+    )
+    table = AsciiTable(["path", "req/s", "speedup"], title="Serving throughput")
+    table.add_row(["naive 1-per-predict", round(naive_rps, 1), "1.00x"])
+    table.add_row(
+        ["micro-batched engine", round(engine_rps, 1),
+         f"{engine_rps / naive_rps:.2f}x"]
+    )
+    return BenchResult(
+        metrics={
+            "engine_speedup": engine_rps / naive_rps,
+            "engine_rps": engine_rps,
+            "mean_ops_per_request": snap.mean_ops,
+            "mean_energy_pj_per_request": snap.mean_energy_pj,
+            "label_agreement": agreement,
+        },
+        # No ``units``: the timed body serves the images twice (naive loop
+        # + engine), so a single throughput number would blend both paths;
+        # the real rates are the engine_rps / engine_speedup metrics.
+        text=table.render() + "\n" + snap.render(),
+        payload={"agreement": agreement, "speedup": engine_rps / naive_rps},
+    )
+
+
+@bench_serving_throughput.check
+def _check_serving_throughput(res: BenchResult) -> None:
+    # Same answers, much faster.
+    assert res.payload["agreement"] == 1.0
+    assert res.payload["speedup"] >= 2.0
+
+
+@benchmark(
+    "serving_delta_budget",
+    group=GROUP,
+    title="Serving -- delta controller vs ops budget",
+    tolerances={
+        "budget_rel_error": Tolerance(abs=0.1),
+        "served_mean_ops": Tolerance(rel=0.25),
+        "final_delta": None,
+    },
+)
+def bench_serving_delta_budget(ctx: BenchContext) -> BenchResult:
+    trained = get_trained("mnist_3c", ctx.scale, seed=ctx.seed)
+    _, test = get_datasets(ctx.scale, seed=ctx.seed)
+    cdln = trained.cdln
+    baseline_ops = float(cdln.path_cost_table().baseline_cost.total)
+    budget = 0.75 * baseline_ops
+    warmup = test.images[: max(len(test) // 3, 50)]
+
+    controller = DeltaController(target_mean_ops=budget)
+    engine = InferenceEngine(
+        model=cdln,
+        controller=controller,
+        policy=MicroBatchPolicy(max_batch_size=128),
+    )
+    engine.calibrate(warmup)
+    responses = engine.classify_many(test.images)
+
+    measured = float(np.mean([r.ops for r in responses]))
+    predicted = controller.calibration.point_for_delta(controller.delta).mean_ops
+    table = AsciiTable(
+        ["quantity", "OPS/request"], title="Budget-aware delta control"
+    )
+    table.add_row(["baseline (unconditional)", round(baseline_ops)])
+    table.add_row(["requested budget", round(budget)])
+    table.add_row(["calibration prediction", round(predicted)])
+    table.add_row(["served (measured)", round(measured)])
+    table.add_row(["final delta", round(controller.delta, 3)])
+    rel_error = abs(measured - budget) / budget
+    return BenchResult(
+        metrics={
+            "budget_rel_error": rel_error,
+            "served_mean_ops": measured,
+            "final_delta": controller.delta,
+        },
+        units=float(len(test)),
+        text=table.render(),
+        payload={"measured": measured, "budget": budget},
+    )
+
+
+@bench_serving_delta_budget.check
+def _check_serving_delta_budget(res: BenchResult) -> None:
+    measured, budget = res.payload["measured"], res.payload["budget"]
+    assert abs(measured - budget) <= 0.10 * budget
+
+
+@benchmark(
+    "serving_hot_path",
+    group=GROUP,
+    title="Serving -- cascade hot path micro-benchmark",
+    tiers={
+        "tiny": {"batch": 128, "singles": 16},
+        "small": {"batch": 256, "singles": 32},
+        "full": {"batch": 512, "singles": 64},
+    },
+    tolerances={
+        "batched_vs_single": None,
+        "trace_vs_single": None,
+    },
+)
+def bench_serving_hot_path(ctx: BenchContext) -> BenchResult:
+    """Guards the shared executor's hot path: batching must amortize, and
+    the single-instance tracer (same executor, stage recording on) must
+    stay within a small factor of a batch-1 predict."""
+    trained = get_trained("mnist_3c", ctx.scale, seed=ctx.seed)
+    _, test = get_datasets(ctx.scale, seed=ctx.seed)
+    cdln = trained.cdln
+    big = test.images[: min(int(ctx.params.get("batch", 256)), len(test))]
+    singles = test.images[: int(ctx.params.get("singles", 32))]
+
+    start = perf_counter()
+    cdln.predict(big, delta=DELTA)
+    per_input_batched = (perf_counter() - start) / len(big)
+
+    start = perf_counter()
+    for image in singles:
+        cdln.predict(image[None], delta=DELTA)
+    per_input_single = (perf_counter() - start) / len(singles)
+
+    start = perf_counter()
+    for image in singles:
+        classify_instance(cdln, image, delta=DELTA)
+    per_input_trace = (perf_counter() - start) / len(singles)
+
+    table = AsciiTable(["path", "us / input"], title="Cascade hot path")
+    table.add_row(["predict, batched", round(per_input_batched * 1e6, 1)])
+    table.add_row(["predict, batch 1", round(per_input_single * 1e6, 1)])
+    table.add_row(["classify_instance (trace)", round(per_input_trace * 1e6, 1)])
+    ratios = {
+        "batched_vs_single": per_input_batched / per_input_single,
+        "trace_vs_single": per_input_trace / per_input_single,
+    }
+    # No ``units``: the body times three separate paths, so no single
+    # throughput is meaningful; the per-path ratios are the metrics.
+    return BenchResult(metrics=ratios, text=table.render(), payload=ratios)
+
+
+@bench_serving_hot_path.check
+def _check_serving_hot_path(res: BenchResult) -> None:
+    assert res.payload["batched_vs_single"] <= 0.5
+    assert res.payload["trace_vs_single"] <= 3.0

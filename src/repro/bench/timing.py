@@ -1,0 +1,113 @@
+"""Warmup/repeat timing and RSS sampling for the benchmark runner.
+
+Deliberately dependency-free: RSS comes from ``/proc/self/statm`` where it
+exists (Linux) and falls back to ``resource.getrusage`` elsewhere, so the
+harness works in the CI container and on developer laptops alike.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable
+
+from repro.utils.validation import check_positive_int
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def current_rss_mb() -> float:
+    """Resident set size of this process, in MiB.
+
+    Exact on Linux (``/proc/self/statm``); elsewhere degrades to the
+    ``ru_maxrss`` high-water mark, so before/after deltas read ~0 there
+    and only ``peak_rss_mb`` is meaningful.
+    """
+    try:
+        with open("/proc/self/statm") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE / 2**20
+    except (OSError, ValueError, IndexError):
+        pass
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return rss / 2**20 if sys.platform == "darwin" else rss / 2**10
+
+
+def peak_rss_mb() -> float:
+    """High-water-mark RSS of this process, in MiB."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss / 2**20 if sys.platform == "darwin" else rss / 2**10
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Wall-clock and memory statistics for one measured benchmark."""
+
+    rounds: int
+    warmup_rounds: int
+    wall_s: tuple[float, ...]
+    rss_before_mb: float
+    rss_after_mb: float
+    peak_rss_mb: float
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.wall_s) / len(self.wall_s)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.wall_s)
+
+    @property
+    def max_s(self) -> float:
+        return max(self.wall_s)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rounds": self.rounds,
+            "warmup_rounds": self.warmup_rounds,
+            "wall_s_mean": self.mean_s,
+            "wall_s_min": self.min_s,
+            "wall_s_max": self.max_s,
+            "wall_s_all": list(self.wall_s),
+            "rss_before_mb": round(self.rss_before_mb, 2),
+            "rss_after_mb": round(self.rss_after_mb, 2),
+            "peak_rss_mb": round(self.peak_rss_mb, 2),
+        }
+
+
+def measure(
+    fn: Callable[[], Any],
+    *,
+    rounds: int = 3,
+    warmup_rounds: int = 1,
+) -> tuple[TimingStats, Any]:
+    """Call ``fn`` ``warmup_rounds`` + ``rounds`` times; time the last ``rounds``.
+
+    Returns the stats and the payload of the final measured call (the one
+    whose metrics the artifact reports).
+    """
+    check_positive_int(rounds, "rounds")
+    if warmup_rounds < 0:
+        raise ValueError("warmup_rounds must be >= 0")
+    for _ in range(warmup_rounds):
+        fn()
+    rss_before = current_rss_mb()
+    walls: list[float] = []
+    payload: Any = None
+    for _ in range(rounds):
+        start = perf_counter()
+        payload = fn()
+        walls.append(perf_counter() - start)
+    stats = TimingStats(
+        rounds=rounds,
+        warmup_rounds=warmup_rounds,
+        wall_s=tuple(walls),
+        rss_before_mb=rss_before,
+        rss_after_mb=current_rss_mb(),
+        peak_rss_mb=peak_rss_mb(),
+    )
+    return stats, payload

@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
 from repro.nn.network import Network

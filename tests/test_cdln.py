@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.cdl.architectures import mnist_3c
-from repro.cdl.confidence import ActivationModule
 from repro.cdl.inference import classify_instance
 from repro.cdl.linear_classifier import LinearClassifier
 from repro.cdl.network import CDLN

@@ -67,7 +67,7 @@ class TestLayerNetworkEnergy:
     def test_network_energy_is_sum_of_layers(self):
         net, _ = mnist_2c(rng=0)
         total = network_energy(net)
-        assert total == pytest.approx(sum(layer_energy(l) for l in net.layers))
+        assert total == pytest.approx(sum(layer_energy(layer) for layer in net.layers))
 
     def test_2c_consumes_more_than_3c(self):
         net2, _ = mnist_2c(rng=0)
@@ -139,7 +139,7 @@ class TestSynthesis:
     def test_network_report_aggregates(self):
         net, _ = mnist_2c(rng=0)
         whole = synthesize_network(net, name="mnist_2c")
-        parts = [synthesize_layer(l) for l in net.layers]
+        parts = [synthesize_layer(layer) for layer in net.layers]
         assert whole.gate_count == sum(p.gate_count for p in parts)
         assert whole.area_um2 == pytest.approx(sum(p.area_um2 for p in parts))
 

@@ -1,6 +1,5 @@
 """Tests for the gain criterion, stage admission, and Algorithm 1."""
 
-import numpy as np
 import pytest
 
 from repro.cdl.architectures import ARCHITECTURES, build_architecture, mnist_2c, mnist_3c

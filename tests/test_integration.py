@@ -3,7 +3,6 @@ trained systems, runner CLI, and cost-model consistency on the real
 architectures."""
 
 import numpy as np
-import pytest
 
 from repro.cdl.statistics import evaluate_cdln
 from repro.cdl.training import CdlTrainingConfig, train_cdln

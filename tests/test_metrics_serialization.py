@@ -135,8 +135,8 @@ class TestSerialization:
         net = self.make_net()
         path = save_network(net, tmp_path / "model.npz")
         loaded = load_network(path)
-        assert [type(l).__name__ for l in loaded.layers] == [
-            type(l).__name__ for l in net.layers
+        assert [type(layer).__name__ for layer in loaded.layers] == [
+            type(layer).__name__ for layer in net.layers
         ]
         assert loaded.input_shape == net.input_shape
 

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.cdl.architectures import mnist_2c, mnist_3c
 from repro.errors import ConfigurationError
-from repro.nn import ActivationLayer, AvgPool2D, Conv2D, Dense, Flatten, MaxPool2D, Network
+from repro.nn import ActivationLayer, AvgPool2D, Conv2D, Dense, Flatten, MaxPool2D
 from repro.ops.counting import (
     OpCount,
     count_layer_ops,
