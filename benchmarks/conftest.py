@@ -10,14 +10,17 @@ enforces the spec's check.
 
 The scale tier comes from the harness's single mechanism: the
 ``REPRO_BENCH_SCALE`` environment variable (``tiny``/``small``/``full``,
-default ``small``), parsed by :func:`repro.bench.tier_from_env`.
+default ``small``), parsed by :func:`repro.bench.tier_from_env`.  Bodies
+run under the bench compute policy (float32 unless ``REPRO_COMPUTE_DTYPE``
+overrides it) exactly like the CLI runner, so pytest-benchmark timings and
+``BENCH_*.json`` artifacts measure the same arithmetic.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import get_benchmark, tier_from_env
+from repro.bench import bench_compute_policy, get_benchmark, tier_from_env
 
 _SEED = 0
 
@@ -45,14 +48,15 @@ def run_spec(benchmark, bench_tier, report):
     def _run(name: str):
         spec = get_benchmark(name)
         ctx = spec.context(bench_tier, seed=_SEED)
-        result = benchmark.pedantic(
-            lambda: spec(ctx),
-            rounds=spec.rounds,
-            iterations=1,
-            warmup_rounds=spec.warmup_rounds,
-        )
-        report(spec.title, result.text or f"(no rendered output for {name})")
-        spec.run_check(result)
+        with bench_compute_policy():
+            result = benchmark.pedantic(
+                lambda: spec(ctx),
+                rounds=spec.rounds,
+                iterations=1,
+                warmup_rounds=spec.warmup_rounds,
+            )
+            report(spec.title, result.text or f"(no rendered output for {name})")
+            spec.run_check(result)
         return result
 
     return _run

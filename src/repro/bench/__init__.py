@@ -38,7 +38,9 @@ from repro.bench.registry import (
     load_suites,
 )
 from repro.bench.runner import (
+    BENCH_DTYPE_DEFAULT,
     SCALE_ENV_VAR,
+    bench_compute_policy,
     run_benchmark,
     run_benchmarks,
     tier_from_env,
@@ -46,6 +48,7 @@ from repro.bench.runner import (
 from repro.bench.timing import TimingStats, current_rss_mb, measure
 
 __all__ = [
+    "BENCH_DTYPE_DEFAULT",
     "SCHEMA",
     "SCALE_ENV_VAR",
     "TIERS",
@@ -61,6 +64,7 @@ __all__ = [
     "TimingStats",
     "Tolerance",
     "artifact_filename",
+    "bench_compute_policy",
     "benchmark",
     "compare_artifacts",
     "compare_dirs",

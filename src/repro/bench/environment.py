@@ -15,6 +15,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.nn.compute import active_policy
+
 
 def _git_sha() -> str:
     try:
@@ -55,4 +57,6 @@ def environment_fingerprint() -> dict[str, Any]:
         "numpy": np.__version__,
         "blas": _blas_backend(),
         "git_sha": _git_sha(),
+        "compute_dtype": active_policy().dtype_name,
+        "workspace_reuse": active_policy().workspace_reuse,
     }

@@ -17,9 +17,16 @@ from repro.bench.registry import (
 )
 from repro.bench.timing import measure
 from repro.errors import ConfigurationError
+from repro.nn.compute import DTYPE_ENV_VAR, compute_policy
 
 #: Environment variable consulted by every front end for the scale tier.
 SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+#: Compute dtype benchmarks run under when ``REPRO_COMPUTE_DTYPE`` is unset.
+#: Serving/bench workloads default to float32 (the perf-oriented half of
+#: the compute policy); the tier-1 test suite keeps the library's float64
+#: default for bit-level parity with the seed.
+BENCH_DTYPE_DEFAULT = "float32"
 
 
 def tier_from_env(default: str = "small") -> str:
@@ -30,6 +37,15 @@ def tier_from_env(default: str = "small") -> str:
             f"{SCALE_ENV_VAR}={tier!r} is not a scale tier; use one of {TIERS}"
         )
     return tier
+
+
+def bench_compute_policy():
+    """Compute-policy context every bench front end runs its bodies under.
+
+    ``REPRO_COMPUTE_DTYPE`` overrides the float32 default, so the same
+    artifacts can be regenerated in float64 for parity studies.
+    """
+    return compute_policy(dtype=os.environ.get(DTYPE_ENV_VAR, BENCH_DTYPE_DEFAULT))
 
 
 def run_benchmark(
@@ -43,15 +59,17 @@ def run_benchmark(
 ) -> BenchArtifact:
     """Measure one benchmark and build (but not write) its artifact."""
     ctx = spec.context(tier, seed=seed)
-    stats, result = measure(
-        lambda: spec(ctx),
-        rounds=rounds if rounds is not None else spec.rounds,
-        warmup_rounds=(
-            warmup_rounds if warmup_rounds is not None else spec.warmup_rounds
-        ),
-    )
-    if check:
-        spec.run_check(result)
+    with bench_compute_policy():
+        stats, result = measure(
+            lambda: spec(ctx),
+            rounds=rounds if rounds is not None else spec.rounds,
+            warmup_rounds=(
+                warmup_rounds if warmup_rounds is not None else spec.warmup_rounds
+            ),
+        )
+        if check:
+            spec.run_check(result)
+        environment = environment_fingerprint()
     throughput = (
         result.units / stats.mean_s
         if result.units is not None and stats.mean_s > 0
@@ -64,7 +82,7 @@ def run_benchmark(
         seed=seed,
         timing=stats.to_dict(),
         metrics=dict(result.metrics),
-        environment=environment_fingerprint(),
+        environment=environment,
         throughput_per_s=throughput,
         text=result.text,
     )

@@ -13,7 +13,8 @@ from repro.cdl.confidence import ActivationModule
 from repro.cdl.gain import admit_stages
 from repro.cdl.linear_classifier import LinearClassifier
 from repro.cdl.network import CDLN
-from repro.cdl.statistics import evaluate_cdln
+from repro.cdl.score_cache import StageScoreCache
+from repro.cdl.statistics import evaluate_cached, evaluate_cdln
 from repro.experiments.common import get_datasets, get_trained
 from repro.nn import Adam, Dense, Flatten, Network, Trainer
 from repro.utils.tables import AsciiTable
@@ -41,15 +42,17 @@ def bench_confidence_policies(ctx: BenchContext) -> BenchResult:
     _train, test = get_datasets(ctx.scale, ctx.seed)
     trained = get_trained("mnist_3c", ctx.scale, ctx.seed)
     cdln = trained.cdln
-    original = cdln.activation_module
+    # Stage scores are policy-independent: score once, replay per policy.
+    cache = StageScoreCache.build(cdln, test.images)
     rows: dict[str, tuple[float, float]] = {}
-    try:
-        for policy in POLICIES:
-            cdln.activation_module = ActivationModule(delta=DELTA, policy=policy)
-            ev = evaluate_cdln(cdln, test, delta=DELTA)
-            rows[policy] = (ev.accuracy, ev.normalized_ops)
-    finally:
-        cdln.activation_module = original
+    for policy in POLICIES:
+        ev = evaluate_cached(
+            cache,
+            test,
+            delta=DELTA,
+            activation_module=ActivationModule(delta=DELTA, policy=policy),
+        )
+        rows[policy] = (ev.accuracy, ev.normalized_ops)
     table = AsciiTable(
         ["policy", "accuracy (%)", "normalized OPS"],
         title="Ablation -- confidence policy at delta=0.6 (MNIST_3C)",
@@ -91,12 +94,16 @@ EPSILONS = (0.0, 1_000.0, 1e12)
 def bench_gain_epsilon(ctx: BenchContext) -> BenchResult:
     train, _test = get_datasets(ctx.scale, ctx.seed)
     trained = get_trained("mnist_3c", ctx.scale, ctx.seed, attach="all")
+    # One backbone pass serves every epsilon's whole leave-one-out search.
+    cache = StageScoreCache.build(trained.cdln, train.images)
     kept: dict[float, tuple[str, ...]] = {}
     for epsilon in EPSILONS:
         cdln = trained.cdln.clone_with_stages(
             [s.name for s in trained.cdln.linear_stages]
         )
-        result = admit_stages(cdln, train.images, epsilon=epsilon, delta=DELTA)
+        result = admit_stages(
+            cdln, train.images, epsilon=epsilon, delta=DELTA, cache=cache
+        )
         kept[epsilon] = tuple(result.kept)
     table = AsciiTable(
         ["epsilon", "stages kept"],

@@ -37,10 +37,12 @@ from repro.cdl.gain import (
 from repro.cdl.inference import InstanceTrace, StageDecision, classify_instance
 from repro.cdl.linear_classifier import LinearClassifier
 from repro.cdl.network import CDLN, CdlBatchResult
+from repro.cdl.score_cache import StageScoreCache
 from repro.cdl.stages import Stage
 from repro.cdl.statistics import (
     CdlEvaluation,
     evaluate_baseline_accuracy,
+    evaluate_cached,
     evaluate_cdln,
 )
 from repro.cdl.training import CdlTrainingConfig, TrainedCdl, train_cdln
@@ -65,11 +67,13 @@ __all__ = [
     "Stage",
     "StageDecision",
     "StageGain",
+    "StageScoreCache",
     "TrainedCdl",
     "admit_stages",
     "build_architecture",
     "classify_instance",
     "evaluate_baseline_accuracy",
+    "evaluate_cached",
     "evaluate_cdln",
     "evaluate_stage_gains",
     "get_confidence_policy",

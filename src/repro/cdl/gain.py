@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cdl.network import CDLN
+from repro.cdl.score_cache import StageScoreCache
 from repro.errors import ConfigurationError
 from repro.utils.tables import AsciiTable
 
@@ -77,13 +78,24 @@ def evaluate_stage_gains(
     images: np.ndarray,
     labels: np.ndarray | None = None,
     delta: float | None = None,
+    *,
+    cache: StageScoreCache | None = None,
 ) -> list[StageGain]:
     """Measure the paper's literal G_i for every linear stage of ``cdln``.
 
     ``labels`` are unused by the criterion itself (it is purely a cost/flow
-    argument) but accepted for interface symmetry.
+    argument) but accepted for interface symmetry.  Pass a prebuilt
+    ``cache`` (a :class:`~repro.cdl.score_cache.StageScoreCache` over
+    ``images``) to replay the exit pattern instead of re-running the
+    backbone -- ablation suites that also sweep δ or stage subsets share
+    one cache across every call.
     """
-    result = cdln.predict(images, delta=delta)
+    if cache is None:
+        cache = StageScoreCache.build(cdln, images)
+    # Replay the *argument's* stage subset explicitly: a prebuilt cache may
+    # span more stages than this cascade (e.g. built before admission
+    # dropped one), and its default replay would follow its own stage list.
+    result = cache.replay(delta, stages=[s.name for s in cdln.linear_stages])
     costs = result.costs
     gamma_base = float(costs.baseline_cost.total)
     exit_totals = costs.exit_totals()
@@ -155,8 +167,10 @@ class AdmissionResult:
         return table.render()
 
 
-def _average_ops(cdln: CDLN, images: np.ndarray, delta: float | None) -> float:
-    result = cdln.predict(images, delta=delta)
+def _cached_average_ops(
+    cache: StageScoreCache, stages: list[str], delta: float | None
+) -> float:
+    result = cache.replay(delta, stages=stages)
     return float(result.costs.exit_totals()[result.exit_stages].mean())
 
 
@@ -167,6 +181,7 @@ def admit_stages(
     epsilon: float = 0.0,
     delta: float | None = None,
     keep_first: bool = True,
+    cache: StageScoreCache | None = None,
 ) -> AdmissionResult:
     """Drop linear stages whose marginal gain does not exceed ``epsilon``.
 
@@ -177,24 +192,32 @@ def admit_stages(
     ``keep_first`` preserves stage 1 unconditionally, matching the paper's
     "from [the] second CNN layer or stage onwards" wording.  ``cdln`` is
     modified in place.
+
+    Every leave-one-out trial replays one
+    :class:`~repro.cdl.score_cache.StageScoreCache` (built once from
+    ``images``, or passed in via ``cache``), so the whole greedy search
+    costs a single backbone pass regardless of how many subsets it probes.
     """
     result = AdmissionResult()
+    if cache is None:
+        cache = StageScoreCache.build(cdln, images)
     while True:
         droppable = cdln.linear_stages[1:] if keep_first else list(cdln.linear_stages)
         if not droppable:
             break
-        current = _average_ops(cdln, images, delta)
+        current = _cached_average_ops(
+            cache, [s.name for s in cdln.linear_stages], delta
+        )
         trials: list[MarginalGain] = []
         for stage in droppable:
             names_without = [
                 s.name for s in cdln.linear_stages if s.name != stage.name
             ]
-            trial = cdln.clone_with_stages(names_without)
             trials.append(
                 MarginalGain(
                     stage_name=stage.name,
                     ops_with=current,
-                    ops_without=_average_ops(trial, images, delta),
+                    ops_without=_cached_average_ops(cache, names_without, delta),
                     kept=True,
                 )
             )
@@ -211,15 +234,14 @@ def admit_stages(
             )
         )
     # Record the survivors' final diagnostics.
-    final = _average_ops(cdln, images, delta)
+    final = _cached_average_ops(cache, [s.name for s in cdln.linear_stages], delta)
     for stage in cdln.linear_stages:
         names_without = [s.name for s in cdln.linear_stages if s.name != stage.name]
         if names_without or not keep_first:
-            without = _average_ops(cdln.clone_with_stages(names_without), images, delta)
+            without = _cached_average_ops(cache, names_without, delta)
         else:
             without = float(
-                cdln.clone_with_stages([]).predict(images, delta=delta)
-                .costs.baseline_cost.total
+                cache.replay(delta, stages=[]).costs.baseline_cost.total
             )
         result.diagnostics.append(
             MarginalGain(

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError, ShapeError
 from repro.nn.activations import Softmax
+from repro.nn.compute import active_policy, resolve_dtype
 from repro.nn.tensor_ops import one_hot
 from repro.ops.counting import OpCount
 from repro.utils.rng import ensure_rng
@@ -81,8 +82,13 @@ class LinearClassifier:
 
     # -- training ------------------------------------------------------------
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearClassifier":
-        """Train on ``(N, D)`` features with ``(N,)`` integer labels."""
-        features = np.asarray(features, dtype=np.float64)
+        """Train on ``(N, D)`` features with ``(N,)`` integer labels.
+
+        Features are cast to the active compute policy's dtype, so the
+        fitted weights (and every later score) follow the policy.
+        """
+        dtype = active_policy().dtype
+        features = np.asarray(features, dtype=dtype)
         labels = np.asarray(labels, dtype=np.int64).ravel()
         if features.ndim != 2:
             raise ShapeError(f"features must be (N, D), got {features.shape}")
@@ -91,15 +97,17 @@ class LinearClassifier:
         if features.shape[0] == 0:
             raise ShapeError("cannot fit a linear classifier on zero samples")
         n, dim = features.shape
-        targets = one_hot(labels, self.num_classes)
+        targets = one_hot(labels, self.num_classes, dtype=dtype)
         if self.rule == "ridge":
             return self._fit_ridge(features, targets)
         # Small random init breaks symmetry for softmax; zeros suit pure LMS.
         if self.rule == "lms":
-            self.weights = np.zeros((self.num_classes, dim))
+            self.weights = np.zeros((self.num_classes, dim), dtype=dtype)
         else:
-            self.weights = self.rng.normal(0.0, 0.01, size=(self.num_classes, dim))
-        self.bias = np.zeros(self.num_classes)
+            self.weights = self.rng.normal(
+                0.0, 0.01, size=(self.num_classes, dim)
+            ).astype(dtype, copy=False)
+        self.bias = np.zeros(self.num_classes, dtype=dtype)
         # NLMS-style step-size normalization: divide by the mean squared
         # feature norm (+1 for the bias input) so both gradient rules are
         # stable regardless of feature dimensionality or activation scale.
@@ -130,9 +138,9 @@ class LinearClassifier:
         effective regularization scale-free in the sample count.
         """
         n, dim = features.shape
-        x = np.concatenate([features, np.ones((n, 1))], axis=1)
+        x = np.concatenate([features, np.ones((n, 1), dtype=features.dtype)], axis=1)
         lam = (self.l2 if self.l2 > 0 else 1e-3) * n
-        gram = x.T @ x + lam * np.eye(dim + 1)
+        gram = x.T @ x + lam * np.eye(dim + 1, dtype=features.dtype)
         solution = np.linalg.solve(gram, x.T @ targets)  # (dim+1, classes)
         self.weights = solution[:-1].T.copy()
         self.bias = solution[-1].copy()
@@ -152,10 +160,18 @@ class LinearClassifier:
             raise NotFittedError("LinearClassifier used before fit()")
 
     # -- inference -------------------------------------------------------------
+    def astype(self, dtype: np.dtype | str | type) -> "LinearClassifier":
+        """Cast the fitted weights (in place) to ``dtype``; returns ``self``."""
+        target = resolve_dtype(dtype)
+        if self.weights is not None:
+            self.weights = self.weights.astype(target, copy=False)
+            self.bias = self.bias.astype(target, copy=False)
+        return self
+
     def scores(self, features: np.ndarray) -> np.ndarray:
-        """Raw linear scores ``(N, num_classes)``."""
+        """Raw linear scores ``(N, num_classes)`` (computed in the weight dtype)."""
         self._require_fitted()
-        features = np.asarray(features, dtype=np.float64)
+        features = np.asarray(features, dtype=self.weights.dtype)
         if features.ndim != 2 or features.shape[1] != self.weights.shape[1]:
             raise ShapeError(
                 f"features must be (N, {self.weights.shape[1]}), got {features.shape}"

@@ -218,6 +218,18 @@ class CDLN:
         clone._fitted = self._fitted
         return clone
 
+    def astype(self, dtype) -> "CDLN":
+        """Cast the backbone and every stage classifier (in place) to ``dtype``.
+
+        Layers and classifiers compute in their parameter dtype, so this
+        switches the whole cascade's arithmetic; see
+        :mod:`repro.nn.compute`.  Returns ``self``.
+        """
+        self.baseline.astype(dtype)
+        for stage in self.linear_stages:
+            stage.classifier.astype(dtype)
+        return self
+
     def drop_stage(self, name: str) -> "CDLN":
         """Remove a linear stage by name (used by the gain-based admission)."""
         keep = [s for s in self.stages if s.is_final or s.name != name]

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.cdl.network import CDLN, CdlBatchResult
 from repro.data.dataset import DigitDataset
+from repro.errors import ConfigurationError
 from repro.energy.models import ConditionalEnergyProfile, opcount_energy
 from repro.energy.technology import TECHNOLOGY_45NM, TechnologyModel
 from repro.nn.metrics import accuracy, per_class_accuracy
@@ -76,24 +77,13 @@ class CdlEvaluation:
         return table.render()
 
 
-def evaluate_cdln(
-    cdln: CDLN,
+def _aggregate(
+    result: CdlBatchResult,
     dataset: DigitDataset,
-    delta: float | None = None,
-    *,
-    technology: TechnologyModel = TECHNOLOGY_45NM,
-    batch_size: int = 512,
-    system_overhead_fraction: float = 0.04,
+    technology: TechnologyModel,
+    system_overhead_fraction: float,
 ) -> CdlEvaluation:
-    """Run conditional inference over ``dataset`` and aggregate everything.
-
-    ``system_overhead_fraction`` models the per-classification cost that is
-    independent of exit depth (input DMA, control, clock tree) as a fraction
-    of the baseline's dynamic energy; it is why measured energy gains sit a
-    few percent below OPS gains, exactly as the paper reports (1.91x OPS ->
-    1.84x energy).
-    """
-    result = cdln.predict(dataset.images, delta=delta, batch_size=batch_size)
+    """Aggregate one batch result into the full evaluation record."""
     ops = result.ops_profile(dataset.labels)
     # Every input pays for being buffered on-chip (one write + one read per
     # pixel) no matter how early it exits, plus the depth-independent system
@@ -116,6 +106,54 @@ def evaluate_cdln(
         ),
         num_classes=dataset.num_classes,
     )
+
+
+def evaluate_cdln(
+    cdln: CDLN,
+    dataset: DigitDataset,
+    delta: float | None = None,
+    *,
+    technology: TechnologyModel = TECHNOLOGY_45NM,
+    batch_size: int = 512,
+    system_overhead_fraction: float = 0.04,
+) -> CdlEvaluation:
+    """Run conditional inference over ``dataset`` and aggregate everything.
+
+    ``system_overhead_fraction`` models the per-classification cost that is
+    independent of exit depth (input DMA, control, clock tree) as a fraction
+    of the baseline's dynamic energy; it is why measured energy gains sit a
+    few percent below OPS gains, exactly as the paper reports (1.91x OPS ->
+    1.84x energy).
+    """
+    result = cdln.predict(dataset.images, delta=delta, batch_size=batch_size)
+    return _aggregate(result, dataset, technology, system_overhead_fraction)
+
+
+def evaluate_cached(
+    cache,
+    dataset: DigitDataset,
+    delta: float | None = None,
+    *,
+    technology: TechnologyModel = TECHNOLOGY_45NM,
+    system_overhead_fraction: float = 0.04,
+    stages=None,
+    activation_module=None,
+) -> CdlEvaluation:
+    """:func:`evaluate_cdln` from a prebuilt score cache -- no backbone pass.
+
+    ``cache`` is a :class:`~repro.cdl.score_cache.StageScoreCache` built on
+    ``dataset.images``; the replay is exact, so this returns the same
+    evaluation :func:`evaluate_cdln` would, at the cost of a few numpy
+    threshold passes.  Sweeps (δ grids, stage subsets, policy ablations)
+    build one cache and call this per grid point.
+    """
+    if cache.num_inputs != len(dataset):
+        raise ConfigurationError(
+            f"score cache covers {cache.num_inputs} inputs but the dataset "
+            f"has {len(dataset)}; build the cache on the same images"
+        )
+    result = cache.replay(delta, stages=stages, activation_module=activation_module)
+    return _aggregate(result, dataset, technology, system_overhead_fraction)
 
 
 def evaluate_baseline_accuracy(cdln: CDLN, dataset: DigitDataset) -> float:

@@ -14,6 +14,7 @@ from repro.cdl.architectures import ARCHITECTURES
 from repro.data.dataset import DigitDataset
 from repro.data.synthetic_mnist import make_dataset_pair
 from repro.errors import ConfigurationError
+from repro.nn.compute import active_policy
 from repro.utils.validation import check_positive_int
 
 
@@ -100,7 +101,10 @@ def get_trained(
         )
     if attach not in ("paper", "all"):
         raise ConfigurationError(f"attach must be 'paper' or 'all', got {attach!r}")
-    key = (architecture, scale, seed, attach, gain_epsilon, delta)
+    # The compute policy's dtype shapes the trained parameters, so models
+    # built under different policies must not share a cache slot.
+    key = (architecture, scale, seed, attach, gain_epsilon, delta,
+           active_policy().dtype_name)
     if key not in _trained_cache:
         train, _test = get_datasets(scale, seed)
         spec = ARCHITECTURES[architecture]

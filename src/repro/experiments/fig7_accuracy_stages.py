@@ -12,7 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cdl.statistics import evaluate_baseline_accuracy, evaluate_cdln
+from repro.cdl.score_cache import StageScoreCache
+from repro.cdl.statistics import evaluate_baseline_accuracy, evaluate_cached
 from repro.experiments.common import Scale, get_datasets, get_trained
 from repro.utils.tables import AsciiTable
 
@@ -52,14 +53,15 @@ def run(scale: Scale | None = None, seed: int = 0, delta: float = 0.6) -> Fig7Re
     _train, test = get_datasets(scale, seed)
     trained = get_trained("mnist_3c", scale, seed, attach="all")
     cdln = trained.cdln
+    # Score once with every tap attached, replay each prefix cascade.
+    cache = StageScoreCache.build(cdln, test.images)
     all_names = [s.name for s in cdln.linear_stages]
     configurations: list[str] = []
     accuracies: list[float] = []
     fc_fractions: list[float] = []
     for count in range(1, len(all_names) + 1):
         subset = all_names[:count]
-        trial = cdln.clone_with_stages(subset)
-        ev = evaluate_cdln(trial, test, delta=delta)
+        ev = evaluate_cached(cache, test, delta=delta, stages=subset)
         configurations.append("-".join(subset) + "-FC")
         accuracies.append(ev.accuracy)
         fc_fractions.append(float(ev.stage_exit_fractions()[-1]))

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cdl.statistics import evaluate_cdln
+from repro.cdl.score_cache import StageScoreCache
+from repro.cdl.statistics import evaluate_cached
 from repro.experiments.common import Scale, get_datasets, get_trained
 from repro.utils.tables import AsciiTable
 
@@ -50,17 +51,23 @@ class Fig9Result:
 
 
 def run(scale: Scale | None = None, seed: int = 0, delta: float = 0.6) -> Fig9Result:
-    """Sweep MNIST_3C cascades with 1..3 linear stages and measure OPS."""
+    """Sweep MNIST_3C cascades with 1..3 linear stages and measure OPS.
+
+    Stage scores are subset-independent, so the whole sweep scores the
+    backbone once (all taps) and replays each prefix cascade from a
+    :class:`~repro.cdl.score_cache.StageScoreCache`.
+    """
     scale = scale or Scale.small()
     _train, test = get_datasets(scale, seed)
     cdln = get_trained("mnist_3c", scale, seed, attach="all").cdln
+    cache = StageScoreCache.build(cdln, test.images)
     all_names = [s.name for s in cdln.linear_stages]
     configurations: list[str] = []
     normalized: list[float] = []
     fc_fractions: list[float] = []
     for count in range(1, len(all_names) + 1):
         subset = all_names[:count]
-        ev = evaluate_cdln(cdln.clone_with_stages(subset), test, delta=delta)
+        ev = evaluate_cached(cache, test, delta=delta, stages=subset)
         configurations.append("-".join(subset) + "-FC")
         normalized.append(ev.normalized_ops)
         fc_fractions.append(float(ev.stage_exit_fractions()[-1]))

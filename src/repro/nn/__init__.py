@@ -9,11 +9,23 @@ optimizers, a mini-batch trainer, metrics, and checkpointing.
 
 Data layout conventions
 -----------------------
-* Image batches are ``(N, C, H, W)`` float64 arrays in ``[0, 1]``.
+* Image batches are ``(N, C, H, W)`` float arrays in ``[0, 1]``.
 * Flat feature batches are ``(N, D)``.
 * Labels are integer class indices ``(N,)``; losses one-hot internally.
+* Models compute in their parameter dtype, chosen at build time by the
+  active :mod:`repro.nn.compute` policy (float64 default, float32 for
+  serving/bench workloads).
 """
 
+from repro.nn.compute import (
+    ComputePolicy,
+    Workspace,
+    active_policy,
+    compute_policy,
+    default_policy,
+    resolve_dtype,
+    set_default_policy,
+)
 from repro.nn.activations import (
     Identity,
     ReLU,
@@ -66,6 +78,7 @@ __all__ = [
     "ActivationLayer",
     "Adam",
     "AvgPool2D",
+    "ComputePolicy",
     "Constant",
     "ConstantSchedule",
     "Conv2D",
@@ -92,8 +105,14 @@ __all__ = [
     "Tanh",
     "Trainer",
     "TrainingHistory",
+    "Workspace",
     "Zeros",
     "accuracy",
+    "active_policy",
+    "compute_policy",
+    "default_policy",
+    "resolve_dtype",
+    "set_default_policy",
     "confusion_matrix",
     "get_activation",
     "get_initializer",

@@ -1,8 +1,10 @@
 """Weight initializers.
 
-Each initializer is a small callable object: ``init(shape, rng)`` returns a
-float64 array.  ``fan_in``/``fan_out`` are derived from the shape using the
-usual convention (dense: ``(out, in)``; conv: ``(out_maps, in_maps, k, k)``).
+Each initializer is a small callable object: ``init(shape, rng)`` returns an
+array in the active compute policy's dtype (float64 by default; see
+:mod:`repro.nn.compute`).  ``fan_in``/``fan_out`` are derived from the shape
+using the usual convention (dense: ``(out, in)``; conv:
+``(out_maps, in_maps, k, k)``).
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ import math
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.nn.compute import active_policy
 from repro.utils.rng import ensure_rng
 
 
@@ -44,7 +47,7 @@ class Zeros(Initializer):
     name = "zeros"
 
     def __call__(self, shape, rng=None) -> np.ndarray:
-        return np.zeros(shape, dtype=np.float64)
+        return np.zeros(shape, dtype=active_policy().dtype)
 
 
 class Constant(Initializer):
@@ -56,7 +59,7 @@ class Constant(Initializer):
         self.value = float(value)
 
     def __call__(self, shape, rng=None) -> np.ndarray:
-        return np.full(shape, self.value, dtype=np.float64)
+        return np.full(shape, self.value, dtype=active_policy().dtype)
 
 
 class GlorotUniform(Initializer):
@@ -68,7 +71,7 @@ class GlorotUniform(Initializer):
         rng = ensure_rng(rng)
         fan_in, fan_out = _fans(shape)
         limit = math.sqrt(6.0 / (fan_in + fan_out))
-        return rng.uniform(-limit, limit, size=shape)
+        return active_policy().cast(rng.uniform(-limit, limit, size=shape))
 
 
 class GlorotNormal(Initializer):
@@ -80,7 +83,7 @@ class GlorotNormal(Initializer):
         rng = ensure_rng(rng)
         fan_in, fan_out = _fans(shape)
         std = math.sqrt(2.0 / (fan_in + fan_out))
-        return rng.normal(0.0, std, size=shape)
+        return active_policy().cast(rng.normal(0.0, std, size=shape))
 
 
 class HeNormal(Initializer):
@@ -91,7 +94,7 @@ class HeNormal(Initializer):
     def __call__(self, shape, rng=None) -> np.ndarray:
         rng = ensure_rng(rng)
         fan_in, _ = _fans(shape)
-        return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+        return active_policy().cast(rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape))
 
 
 class LecunNormal(Initializer):
@@ -102,7 +105,7 @@ class LecunNormal(Initializer):
     def __call__(self, shape, rng=None) -> np.ndarray:
         rng = ensure_rng(rng)
         fan_in, _ = _fans(shape)
-        return rng.normal(0.0, math.sqrt(1.0 / fan_in), size=shape)
+        return active_policy().cast(rng.normal(0.0, math.sqrt(1.0 / fan_in), size=shape))
 
 
 _REGISTRY: dict[str, type[Initializer]] = {

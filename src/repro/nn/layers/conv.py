@@ -3,6 +3,17 @@
 The paper's architectures (Tables I and II) use only valid, stride-1
 convolutions; padding and stride are nevertheless supported because the
 framework is a general substrate.
+
+Hot path: the im2col column matrix (the layer's single biggest allocation)
+and the pre-activation buffer are satisfied from per-layer
+:class:`~repro.nn.compute.Workspace` buffers when the active compute
+policy allows reuse.  The pre-activation buffer is pure scratch (the
+fused activation allocates the actual output) -- except for the identity
+activation, where the pre-activation *is* the output and the buffer must
+not be reused.  The column matrix lives until this layer's backward reads
+it, so training forwards draw from a *separate* workspace: an inference
+forward interleaved between a training forward and its backward (a
+mid-step validation pass, say) must not clobber the cached columns.
 """
 
 from __future__ import annotations
@@ -12,7 +23,8 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.nn.activations import Activation, get_activation
+from repro.nn.activations import Activation, Identity, get_activation
+from repro.nn.compute import Workspace, workspace_enabled
 from repro.nn.initializers import Initializer, get_initializer
 from repro.nn.layers.base import Layer, register_layer
 from repro.nn.tensor_ops import col2im, conv_output_size, im2col
@@ -63,6 +75,10 @@ class Conv2D(Layer):
         self.weight_init = get_initializer(weight_init)
         self.bias_init = get_initializer(bias_init)
         self._cache: dict[str, Any] = {}
+        self._ws_cols = Workspace()
+        self._ws_cols_train = Workspace()
+        self._ws_pre = Workspace()
+        self._ws_grad_cols = Workspace()
 
     def build(self, input_shape, rng):
         if len(input_shape) != 3:
@@ -81,11 +97,30 @@ class Conv2D(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._check_input(x)
+        weight = self.params["weight"]
+        if x.dtype != weight.dtype:
+            # Compute follows the parameter dtype (the compute policy at
+            # build time), so a float32 model never silently upcasts.
+            x = x.astype(weight.dtype)
         n = x.shape[0]
         _, h_out, w_out = self.output_shape
-        cols = im2col(x, self.kernel, self.stride, self.padding)
-        w_flat = self.params["weight"].reshape(self.num_maps, -1)
-        pre = cols @ w_flat.T + self.params["bias"]
+        rows = n * h_out * w_out
+        reuse = workspace_enabled()
+        if reuse:
+            # Training columns survive until backward, so they get their own
+            # workspace that interleaved inference forwards never touch.
+            ws = self._ws_cols_train if training else self._ws_cols
+            cols_out = ws.request((rows, weight[0].size), weight.dtype)
+        else:
+            cols_out = None
+        cols = im2col(x, self.kernel, self.stride, self.padding, out=cols_out)
+        w_flat = weight.reshape(self.num_maps, -1)
+        if reuse and not isinstance(self.activation, Identity):
+            pre_out = self._ws_pre.request((rows, self.num_maps), weight.dtype)
+            pre = np.matmul(cols, w_flat.T, out=pre_out)
+            pre += self.params["bias"]
+        else:
+            pre = cols @ w_flat.T + self.params["bias"]
         pre = pre.reshape(n, h_out, w_out, self.num_maps).transpose(0, 3, 1, 2)
         out = self.activation.forward(pre)
         if training:
@@ -100,13 +135,24 @@ class Conv2D(Layer):
         cols = self._cache["cols"]
         out = self._cache["output"]
         n = self._cache["batch"]
+        weight = self.params["weight"]
+        if grad.dtype != weight.dtype:
+            grad = grad.astype(weight.dtype)
         grad = self.activation.backward(grad, out)
         # (N, M, Ho, Wo) -> rows aligned with im2col ordering.
         grad_rows = grad.transpose(0, 2, 3, 1).reshape(-1, self.num_maps)
-        w_flat = self.params["weight"].reshape(self.num_maps, -1)
-        self.grads["weight"] = (grad_rows.T @ cols).reshape(self.params["weight"].shape)
+        w_flat = weight.reshape(self.num_maps, -1)
+        self.grads["weight"] = (grad_rows.T @ cols).reshape(weight.shape)
         self.grads["bias"] = grad_rows.sum(axis=0)
-        grad_cols = grad_rows @ w_flat
+        if workspace_enabled():
+            # Scratch only: col2im consumes it immediately below.
+            grad_cols = np.matmul(
+                grad_rows,
+                w_flat,
+                out=self._ws_grad_cols.request(cols.shape, weight.dtype),
+            )
+        else:
+            grad_cols = grad_rows @ w_flat
         x_shape = (n, *self.input_shape)
         return col2im(grad_cols, x_shape, self.kernel, self.stride, self.padding)
 

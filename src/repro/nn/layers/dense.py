@@ -58,7 +58,11 @@ class Dense(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._check_input(x)
-        pre = x @ self.params["weight"].T + self.params["bias"]
+        weight = self.params["weight"]
+        if x.dtype != weight.dtype:
+            # Compute follows the parameter dtype (see repro.nn.compute).
+            x = x.astype(weight.dtype)
+        pre = x @ weight.T + self.params["bias"]
         out = self.activation.forward(pre)
         if training:
             self._cache = {"input": x, "output": out}

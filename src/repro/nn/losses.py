@@ -20,12 +20,17 @@ from repro.errors import ConfigurationError, ShapeError
 from repro.nn.tensor_ops import one_hot
 
 
-def _as_targets(labels_or_targets: np.ndarray, num_classes: int) -> np.ndarray:
+def _as_targets(
+    labels_or_targets: np.ndarray, num_classes: int, dtype: np.dtype | None = None
+) -> np.ndarray:
+    # Targets follow the network-output dtype so the loss gradient (and
+    # hence the whole backward pass) stays in the model's compute dtype
+    # under any policy (see repro.nn.compute).
     arr = np.asarray(labels_or_targets)
     if arr.ndim == 1:
-        return one_hot(arr.astype(np.int64), num_classes)
+        return one_hot(arr.astype(np.int64), num_classes, dtype=dtype)
     if arr.ndim == 2 and arr.shape[1] == num_classes:
-        return arr.astype(np.float64, copy=False)
+        return arr.astype(dtype if dtype is not None else np.float64, copy=False)
     raise ShapeError(
         f"targets must be (N,) labels or (N, {num_classes}) one-hot, got {arr.shape}"
     )
@@ -57,12 +62,12 @@ class MeanSquaredError(Loss):
     preferred_output_activation = "sigmoid"
 
     def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
-        targets = _as_targets(targets, outputs.shape[1])
+        targets = _as_targets(targets, outputs.shape[1], outputs.dtype)
         diff = outputs - targets
         return float(0.5 * np.sum(diff * diff) / outputs.shape[0])
 
     def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        targets = _as_targets(targets, outputs.shape[1])
+        targets = _as_targets(targets, outputs.shape[1], outputs.dtype)
         return (outputs - targets) / outputs.shape[0]
 
 
@@ -86,12 +91,12 @@ class SoftmaxCrossEntropy(Loss):
         self.epsilon = float(epsilon)
 
     def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
-        targets = _as_targets(targets, outputs.shape[1])
+        targets = _as_targets(targets, outputs.shape[1], outputs.dtype)
         probs = np.clip(outputs, self.epsilon, 1.0)
         return float(-np.sum(targets * np.log(probs)) / outputs.shape[0])
 
     def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        targets = _as_targets(targets, outputs.shape[1])
+        targets = _as_targets(targets, outputs.shape[1], outputs.dtype)
         return (outputs - targets) / outputs.shape[0]
 
 

@@ -144,6 +144,38 @@ class Network:
         for layer in self.layers:
             layer.zero_grads()
 
+    # -- compute dtype -----------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """The parameter (and therefore compute) dtype of this network.
+
+        Falls back to the active compute policy's dtype for parameter-free
+        stacks.
+        """
+        for layer in self.layers:
+            for param in layer.params.values():
+                return param.dtype
+        from repro.nn.compute import active_policy
+
+        return active_policy().dtype
+
+    def astype(self, dtype: "np.dtype | str | type") -> "Network":
+        """Cast every parameter (in place) to ``dtype``; returns ``self``.
+
+        Layers compute in their parameter dtype, so this switches the whole
+        network's arithmetic (float32 halves memory traffic and roughly
+        doubles BLAS throughput on the paper's networks).  float32 ->
+        float64 is lossless; the reverse rounds parameters once.
+        """
+        from repro.nn.compute import resolve_dtype
+
+        target = resolve_dtype(dtype)
+        for layer in self.layers:
+            for key, param in layer.params.items():
+                layer.params[key] = param.astype(target, copy=False)
+            layer.zero_grads()
+        return self
+
     # -- introspection -----------------------------------------------------
     @property
     def num_params(self) -> int:

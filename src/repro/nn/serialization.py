@@ -15,6 +15,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import SerializationError
+from repro.nn.compute import active_policy
 from repro.nn.layers.base import layer_from_config
 from repro.nn.network import Network
 
@@ -75,7 +76,13 @@ def load_network(path: str | Path) -> Network:
                             f"checkpoint parameter {stored_key} has shape "
                             f"{stored.shape}, expected {layer.params[key].shape}"
                         )
-                    layer.params[key] = stored.astype(np.float64)
+                    # Parameters land in the active compute policy's dtype
+                    # (checkpoints store whatever the network trained in, so
+                    # a float32 checkpoint round-trips losslessly under a
+                    # float32 policy).
+                    layer.params[key] = stored.astype(
+                        active_policy().dtype, copy=False
+                    )
                 layer.zero_grads()
     except FileNotFoundError as exc:
         raise SerializationError(f"checkpoint not found: {path}") from exc

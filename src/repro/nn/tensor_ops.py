@@ -4,6 +4,14 @@ Convolution and pooling are implemented by lowering the sliding window into
 a matrix ("im2col") so the heavy lifting becomes one BLAS matmul.  This is
 the standard trick used by Caffe and by every numpy CNN; it makes the
 paper's small networks train in seconds without any compiled extension.
+
+Hot-path contract: both :func:`im2col` and :func:`col2im` accept an ``out``
+buffer so callers (the conv/pool layers) can satisfy the per-call scratch
+from a reused :class:`repro.nn.compute.Workspace` instead of allocating.
+``im2col`` performs exactly one strided gather straight into the
+destination (no intermediate materialization, no trailing
+``ascontiguousarray`` copy), and ``col2im`` takes a fully vectorized
+strided-view path whenever windows do not overlap (``stride >= kernel``).
 """
 
 from __future__ import annotations
@@ -34,7 +42,9 @@ def pad_images(x: np.ndarray, padding: int) -> np.ndarray:
     return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
 
 
-def sliding_windows(x: np.ndarray, kernel: int, stride: int = 1) -> np.ndarray:
+def sliding_windows(
+    x: np.ndarray, kernel: int, stride: int = 1, *, writeable: bool = False
+) -> np.ndarray:
     """Return a zero-copy view of all ``kernel x kernel`` windows.
 
     Parameters
@@ -43,13 +53,24 @@ def sliding_windows(x: np.ndarray, kernel: int, stride: int = 1) -> np.ndarray:
         ``(N, C, H, W)`` batch.
     kernel, stride:
         Window size and step.
+    writeable:
+        Expose the view writable.  Only sound when windows do not overlap
+        (``stride >= kernel``) and ``x`` itself is writable; used by the
+        vectorized scatter adjoints in :func:`col2im` and average-pool
+        backward.
 
     Returns
     -------
-    A read-only view of shape ``(N, C, H_out, W_out, kernel, kernel)``.
+    A view of shape ``(N, C, H_out, W_out, kernel, kernel)`` (read-only
+    unless ``writeable``).
     """
     if x.ndim != 4:
         raise ShapeError(f"expected a (N, C, H, W) batch, got shape {x.shape}")
+    if writeable and stride < kernel:
+        raise ShapeError(
+            f"writable windows need stride >= kernel (non-overlapping), "
+            f"got stride={stride} kernel={kernel}"
+        )
     n, c, h, w = x.shape
     h_out = conv_output_size(h, kernel, stride)
     w_out = conv_output_size(w, kernel, stride)
@@ -58,24 +79,43 @@ def sliding_windows(x: np.ndarray, kernel: int, stride: int = 1) -> np.ndarray:
         x,
         shape=(n, c, h_out, w_out, kernel, kernel),
         strides=(sn, sc, sh * stride, sw * stride, sh, sw),
-        writeable=False,
+        writeable=writeable,
     )
     return view
 
 
-def im2col(x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0) -> np.ndarray:
+def im2col(
+    x: np.ndarray,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    *,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Lower convolution windows into a matrix.
 
     Returns an array of shape ``(N * H_out * W_out, C * kernel * kernel)``
     whose rows are the flattened receptive fields, ordered so that
-    ``rows.reshape(N, H_out, W_out, -1)`` walks the output raster.
+    ``rows.reshape(N, H_out, W_out, -1)`` walks the output raster.  When
+    ``out`` is given (a C-contiguous buffer of the right shape and dtype,
+    typically from a :class:`~repro.nn.compute.Workspace`), the gather
+    writes into it and returns it.
     """
     x = pad_images(x, padding)
     windows = sliding_windows(x, kernel, stride)  # (N, C, Ho, Wo, k, k)
     n, c, h_out, w_out, k, _ = windows.shape
-    # (N, Ho, Wo, C, k, k) -> rows
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * h_out * w_out, c * k * k)
-    return np.ascontiguousarray(cols)
+    rows, cols = n * h_out * w_out, c * k * k
+    if out is None:
+        out = np.empty((rows, cols), dtype=x.dtype)
+    elif out.shape != (rows, cols) or out.dtype != x.dtype:
+        raise ShapeError(
+            f"im2col out buffer has shape {out.shape} dtype {out.dtype}, "
+            f"expected {(rows, cols)} {x.dtype}"
+        )
+    # One strided gather, straight into the destination raster order.
+    dst = out.reshape(n, h_out, w_out, c, k, k)
+    np.copyto(dst, windows.transpose(0, 2, 3, 1, 4, 5))
+    return out
 
 
 def col2im(
@@ -84,12 +124,19 @@ def col2im(
     kernel: int,
     stride: int = 1,
     padding: int = 0,
+    *,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Inverse of :func:`im2col`: scatter-add columns back onto the image.
 
     Overlapping windows accumulate, which is exactly the adjoint of the
     window extraction and therefore the correct gradient routing for
-    convolution backprop.
+    convolution backprop.  Non-overlapping geometries (``stride >=
+    kernel``) take a fully vectorized strided-view path.  ``out``, when
+    given, must be the padded canvas ``(N, C, H + 2p, W + 2p)``; note the
+    returned array is ``out`` itself (or its interior view when padded),
+    so the caller must treat it as invalidated by the next call that
+    reuses the buffer.
     """
     n, c, h, w = x_shape
     h_pad, w_pad = h + 2 * padding, w + 2 * padding
@@ -102,19 +149,40 @@ def col2im(
             f"and kernel={kernel}, stride={stride}, padding={padding}"
         )
     blocks = cols.reshape(n, h_out, w_out, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
-    x_pad = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
-    for i in range(kernel):
-        i_max = i + stride * h_out
-        for j in range(kernel):
-            j_max = j + stride * w_out
-            x_pad[:, :, i:i_max:stride, j:j_max:stride] += blocks[:, :, :, :, i, j]
+    if out is None:
+        x_pad = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    else:
+        if out.shape != (n, c, h_pad, w_pad) or out.dtype != cols.dtype:
+            raise ShapeError(
+                f"col2im out buffer has shape {out.shape} dtype {out.dtype}, "
+                f"expected {(n, c, h_pad, w_pad)} {cols.dtype}"
+            )
+        x_pad = out
+        x_pad[...] = 0.0
+    if stride >= kernel:
+        # Windows are disjoint: the adjoint is a pure strided scatter, no
+        # accumulation needed -- assign through a writable window view.
+        dst = sliding_windows(x_pad, kernel, stride, writeable=True)
+        dst[...] = blocks
+    else:
+        for i in range(kernel):
+            i_max = i + stride * h_out
+            for j in range(kernel):
+                j_max = j + stride * w_out
+                x_pad[:, :, i:i_max:stride, j:j_max:stride] += blocks[:, :, :, :, i, j]
     if padding == 0:
         return x_pad
     return x_pad[:, :, padding:-padding, padding:-padding]
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Encode integer labels ``(N,)`` as a one-hot matrix ``(N, num_classes)``."""
+def one_hot(
+    labels: np.ndarray, num_classes: int, *, dtype: np.dtype | None = None
+) -> np.ndarray:
+    """Encode integer labels ``(N,)`` as a one-hot matrix ``(N, num_classes)``.
+
+    ``dtype`` defaults to float64; losses pass their output dtype so the
+    encoding matches the model's compute dtype.
+    """
     labels = np.asarray(labels)
     if labels.ndim != 1:
         raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
@@ -123,6 +191,9 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must lie in [0, {num_classes}), got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros(
+        (labels.shape[0], num_classes),
+        dtype=dtype if dtype is not None else np.float64,
+    )
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out

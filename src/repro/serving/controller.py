@@ -53,29 +53,21 @@ def simulate_exit_stages(
     ``stage_scores[i]`` holds the ``(N, C)`` scores of linear stage ``i``
     for the *full* sample.  Because every stage's verdict for an input
     depends only on that input's scores, replaying the decide/terminate
-    loop over these arrays reproduces the real executor's exits exactly.
+    thresholds over these arrays reproduces the real executor's exits
+    exactly.  Legacy entry point: delegates to the shared replay primitive
+    in :mod:`repro.cdl.score_cache` so the decision semantics live in
+    exactly one place.
     """
-    if len(stage_scores) != num_stages - 1:
-        raise ConfigurationError(
-            f"expected scores for {num_stages - 1} linear stages, "
-            f"got {len(stage_scores)}"
-        )
-    n = stage_scores[0].shape[0] if stage_scores else int(num_inputs or 0)
-    exits = np.full(n, num_stages - 1, dtype=np.int64)
-    active = np.arange(n)
-    for stage_idx, scores in enumerate(stage_scores):
-        verdict = activation_module.decide(
-            scores[active], delta, scores_are_probabilities=True
-        )
-        if max_stage is not None and stage_idx >= max_stage:
-            done = np.ones(active.shape[0], dtype=bool)
-        else:
-            done = verdict.terminate
-        exits[active[done]] = stage_idx
-        active = active[~done]
-        if active.size == 0:
-            break
-    return exits
+    from repro.cdl.score_cache import exit_stages_from_scores
+
+    return exit_stages_from_scores(
+        stage_scores,
+        activation_module,
+        delta,
+        num_stages,
+        max_stage=max_stage,
+        num_inputs=num_inputs,
+    )
 
 
 @dataclass(frozen=True)
@@ -219,10 +211,13 @@ class DeltaController:
     def calibrate(self, cdln, images: np.ndarray) -> DeltaCalibration:
         """Sweep the delta grid on a sample workload and pick the operating point.
 
-        Stage scores are computed once (one feature-extraction pass); each
-        grid delta is then evaluated by exact numpy simulation, so even a
-        dense grid costs a fraction of one real predict pass.
+        Stage scores are computed once (one
+        :class:`~repro.cdl.score_cache.StageScoreCache` build); each grid
+        delta is then evaluated by exact numpy replay, so even a dense grid
+        costs a fraction of one real predict pass.
         """
+        from repro.cdl.score_cache import StageScoreCache
+
         if not cdln.is_fitted:
             raise NotFittedError("cannot calibrate against an unfitted CDLN")
         if images.shape[0] == 0:
@@ -230,21 +225,10 @@ class DeltaController:
         costs = cdln.path_cost_table()
         totals = costs.exit_totals()
         cap = self.max_stage(costs)
-        features = cdln.extract_features(images)
-        stage_scores = [
-            stage.classifier.confidence_scores(features[stage.attach_index])
-            for stage in cdln.linear_stages
-        ]
+        cache = StageScoreCache.build(cdln, images)
         points = []
         for delta in self.delta_grid:
-            exits = simulate_exit_stages(
-                stage_scores,
-                cdln.activation_module,
-                delta,
-                costs.num_stages,
-                max_stage=cap,
-                num_inputs=images.shape[0],
-            )
+            exits = cache.exit_stages(delta, max_stage=cap)
             fractions = np.bincount(exits, minlength=costs.num_stages) / exits.shape[0]
             points.append(
                 CalibrationPoint(

@@ -48,8 +48,16 @@ def tiny_test_set(tiny_scale):
     return get_datasets(tiny_scale, seed=7)[1]
 
 
-def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
-    """Central-difference gradient of scalar ``fn`` w.r.t. array ``x``."""
+def numeric_gradient(fn, x: np.ndarray, eps: float | None = None) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. array ``x``.
+
+    The step size matches the array's precision: 1e-6 suits float64, but a
+    float32 central difference needs a much larger step (1e-2) before the
+    function-evaluation rounding noise (~1e-7 relative) stops dominating
+    the quotient.
+    """
+    if eps is None:
+        eps = 1e-6 if x.dtype == np.float64 else 1e-2
     grad = np.zeros_like(x)
     flat = x.ravel()
     grad_flat = grad.ravel()

@@ -18,12 +18,23 @@ from repro.nn.layers import (
 RNG = np.random.default_rng(0)
 
 
+def _tol(float64_value: float, float32_value: float) -> float:
+    """Precision-matched tolerance for the active compute dtype."""
+    from repro.nn.compute import active_policy
+
+    return float64_value if active_policy().dtype == np.float64 else float32_value
+
+
 def _loss_through(layer, x, upstream):
     out = layer.forward(x, training=True)
     return float(np.sum(out * upstream))
 
 
-def _check_input_gradient(layer, x, gradcheck, atol=1e-6):
+def _check_input_gradient(layer, x, gradcheck, atol=None):
+    # Gradients are checked against a finite difference computed in the
+    # layer's own dtype, so the band scales with that dtype's precision.
+    atol = _tol(1e-6, 2e-2) if atol is None else atol
+    x = x.astype(layer.params["weight"].dtype) if layer.params else x
     upstream = np.random.default_rng(99).normal(size=layer.forward(x).shape)
     layer.forward(x, training=True)
     analytic = layer.backward(upstream)
@@ -31,7 +42,8 @@ def _check_input_gradient(layer, x, gradcheck, atol=1e-6):
     np.testing.assert_allclose(analytic, numeric, atol=atol)
 
 
-def _check_param_gradient(layer, x, key, gradcheck, atol=1e-6):
+def _check_param_gradient(layer, x, key, gradcheck, atol=None):
+    atol = _tol(1e-6, 2e-2) if atol is None else atol
     upstream = np.random.default_rng(98).normal(size=layer.forward(x).shape)
     layer.forward(x, training=True)
     layer.backward(upstream)
@@ -68,7 +80,9 @@ class TestConv2D:
             for i in range(4):
                 for j in range(4):
                     naive[0, m, i, j] = np.sum(x[0, :, i:i+3, j:j+3] * w[m]) + b[m]
-        np.testing.assert_allclose(out, naive, rtol=1e-10)
+        np.testing.assert_allclose(
+            out, naive, rtol=_tol(1e-10, 1e-4), atol=_tol(0, 1e-5)
+        )
 
     def test_input_gradient(self, gradcheck):
         layer = self.make()
@@ -175,7 +189,9 @@ class TestDense:
         layer = self.make(activation="identity")
         x = RNG.random((2, 5))
         expected = x @ layer.params["weight"].T + layer.params["bias"]
-        np.testing.assert_allclose(layer.forward(x), expected)
+        np.testing.assert_allclose(
+            layer.forward(x), expected, rtol=_tol(1e-7, 1e-5), atol=_tol(0, 1e-6)
+        )
 
     def test_input_gradient(self, gradcheck):
         _check_input_gradient(self.make(), RNG.random((3, 5)), gradcheck)

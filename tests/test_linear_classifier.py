@@ -53,7 +53,11 @@ class TestAllRules:
     def test_proba_rows_sum_to_one(self, rule):
         x, y = _separable()
         clf = LinearClassifier(3, rule=rule, rng=0).fit(x, y)
-        np.testing.assert_allclose(clf.predict_proba(x).sum(axis=1), 1.0, rtol=1e-9)
+        np.testing.assert_allclose(
+            clf.predict_proba(x).sum(axis=1),
+            1.0,
+            rtol=1e-9 if clf.weights.dtype == np.float64 else 1e-5,
+        )
 
     def test_confidence_scores_in_unit_interval(self, rule):
         x, y = _separable()

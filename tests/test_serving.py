@@ -100,8 +100,14 @@ class TestEngineParity:
         responses = [t.result(timeout=0) for t in tickets]
         assert [r.label for r in responses] == offline.labels.tolist()
         assert [r.exit_stage for r in responses] == offline.exit_stages.tolist()
+        # Micro-batches slice the workload differently from the offline
+        # pass; BLAS may round float32 scores differently per composition.
+        float64 = trained_3c.baseline.dtype == np.float64
         np.testing.assert_allclose(
-            [r.confidence for r in responses], offline.confidences, rtol=1e-9
+            [r.confidence for r in responses],
+            offline.confidences,
+            rtol=1e-9 if float64 else 1e-5,
+            atol=0 if float64 else 1e-6,
         )
 
     def test_response_costs_come_from_cost_table(self, trained_3c, tiny_test_set):
