@@ -1,0 +1,13 @@
+"""Scenario benches: corruption robustness sweep, budgeted drift replay.
+
+The scenarios PR's two claims, timed and shape-checked.  Bodies and
+checks: ``repro.bench.suites.scenarios``.
+"""
+
+
+def test_scenarios_robustness_sweep(run_spec):
+    run_spec("scenarios_robustness_sweep")
+
+
+def test_scenarios_drift_replay(run_spec):
+    run_spec("scenarios_drift_replay")

@@ -1,0 +1,82 @@
+"""Stress-testing the cascade: corruption suite + drift served under budget.
+
+The paper's energy savings come from most inputs being easy.  This demo
+makes inputs hard on purpose: the default scenario suite (noise, blur,
+occlusion, contrast, affine jitter, label noise, class skew) measures how
+accuracy, exit depth, OPS/energy and confidence calibration respond to
+severity, then a sudden distribution shift is replayed through the
+serving engine while a budget-aware controller holds a soft mean-OPS
+target and a hard per-request cap.
+
+Usage::
+
+    python examples/scenario_robustness.py
+"""
+
+from repro import CdlTrainingConfig, make_dataset_pair, train_cdln
+from repro.cdl.architectures import ARCHITECTURES
+from repro.scenarios import (
+    DriftSchedule,
+    DriftStream,
+    default_suite,
+    evaluate_suite,
+    replay_drift,
+)
+
+DELTA = 0.6
+
+
+def main() -> None:
+    train, test = make_dataset_pair(3000, 1000, rng=0)
+    trained = train_cdln(
+        train,
+        config=CdlTrainingConfig(architecture="mnist_3c", baseline_epochs=4),
+        rng=1,
+    )
+
+    # -- offline: the corruption x severity robustness report ----------------
+    suite = default_suite()
+    report = evaluate_suite(trained.cdln, test, suite, delta=DELTA)
+    print(report.render())
+
+    # -- online: a sudden shift served under budget control ------------------
+    # Tap every pooling layer so the depth cap has stages to work with.
+    spec = ARCHITECTURES["mnist_3c"]
+    served = train_cdln(
+        train,
+        config=CdlTrainingConfig(
+            architecture="mnist_3c", baseline_epochs=4, gain_epsilon=None
+        ),
+        attach_indices=spec.all_tap_indices,
+        rng=1,
+    ).cdln
+    costs = served.path_cost_table()
+    totals = costs.exit_totals()
+    stream = DriftStream.from_scenario(
+        test,
+        suite.get("gaussian_noise@1"),
+        DriftSchedule.sudden(4),
+        batch_size=48,
+        num_batches=12,
+        rng=0,
+    )
+    drift = replay_drift(
+        served,
+        stream,
+        target_mean_ops=0.75 * float(costs.baseline_cost.total),
+        hard_ops_budget=float((totals[-2] + totals[-1]) / 2),
+        delta=DELTA,
+        recalibrate_every=3,
+    )
+    print()
+    print(drift.render())
+    print()
+    print(
+        "hard cap held:" if drift.hard_cap_held else "HARD CAP VIOLATED:",
+        f"max request paid {drift.max_ops_overall:g} OPS "
+        f"(cap {drift.hard_ops_budget:g})",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,13 @@ it idempotent, and the registry's duplicate detection makes accidental
 double-registration loud).
 """
 
-from repro.bench.suites import ablations, figures, hotpath, serving, substrate
+from repro.bench.suites import (
+    ablations,
+    figures,
+    hotpath,
+    scenarios,
+    serving,
+    substrate,
+)
 
-__all__ = ["ablations", "figures", "hotpath", "serving", "substrate"]
+__all__ = ["ablations", "figures", "hotpath", "scenarios", "serving", "substrate"]

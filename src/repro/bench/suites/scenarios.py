@@ -1,0 +1,162 @@
+"""Scenario-suite benchmarks: robustness under corruption, drift serving.
+
+Two claims from the scenarios PR, measured and checked:
+
+* under pixel corruption, accuracy degrades monotonically with severity
+  while the exit histogram shifts deeper (the cascade pays more for hard
+  inputs -- the paper's premise, inverted and measured),
+* a drifting request stream served under a budget-aware controller never
+  violates the hard per-request ops cap, and the soft mean-ops target is
+  tracked again after recalibration.
+
+Wall-clock quantities stay informational; the model-level quantities
+(accuracy, OPS, exit depth, cap violations) gate with bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import BenchContext, BenchResult, Tolerance, benchmark
+from repro.experiments.common import get_datasets, get_trained
+from repro.scenarios.drift import DriftSchedule
+from repro.scenarios.evaluate import budgeted_drift_replay, evaluate_suite
+from repro.scenarios.suite import default_suite
+
+GROUP = "scenarios"
+DELTA = 0.6
+
+
+@benchmark(
+    "scenarios_robustness_sweep",
+    group=GROUP,
+    title="Scenarios -- corruption robustness sweep (MNIST_3C)",
+    rounds=2,
+    tiers={
+        "tiny": {"severities": (0.5, 1.0)},
+        "small": {"severities": (0.25, 0.5, 0.75, 1.0)},
+        "full": {"severities": (0.25, 0.5, 0.75, 1.0)},
+    },
+    tolerances={
+        "clean_accuracy": Tolerance(abs=0.06),
+        "severe_accuracy": Tolerance(abs=0.08),
+        "accuracy_drop": Tolerance(abs=0.10),
+        "exit_depth_shift": Tolerance(abs=0.40),
+        "clean_mean_ops": Tolerance(rel=0.25),
+        "severe_mean_ops": Tolerance(rel=0.25),
+        "clean_ece": Tolerance(abs=0.12),
+        "severe_ece": Tolerance(abs=0.12),
+    },
+)
+def bench_robustness_sweep(ctx: BenchContext) -> BenchResult:
+    """Clean + two corruption families per severity, scored via the cache."""
+    trained = get_trained("mnist_3c", ctx.scale, ctx.seed)
+    _, test = get_datasets(ctx.scale, ctx.seed)
+    severities = tuple(float(s) for s in ctx.params.get("severities", (0.5, 1.0)))
+    suite = default_suite(
+        corruptions=("gaussian_noise", "occlusion"),
+        severities=severities,
+        include_class_skew=False,
+        include_composite=False,
+    )
+    report = evaluate_suite(trained.cdln, test, suite, delta=DELTA)
+    profile = report.severity_profile()
+    clean = report.clean
+    severe = [r for r in report.results if r.scenario.severity == max(severities)]
+    severe_accuracy = float(np.mean([r.accuracy for r in severe]))
+    severe_ops = float(np.mean([r.mean_ops for r in severe]))
+    severe_ece = float(np.mean([r.calibration_error for r in severe]))
+    return BenchResult(
+        metrics={
+            "clean_accuracy": clean.accuracy,
+            "severe_accuracy": severe_accuracy,
+            "accuracy_drop": clean.accuracy - severe_accuracy,
+            "exit_depth_shift": report.exit_depth_shift(),
+            "clean_mean_ops": clean.mean_ops,
+            "severe_mean_ops": severe_ops,
+            "clean_ece": clean.calibration_error,
+            "severe_ece": severe_ece,
+        },
+        units=float(sum(r.num_samples for r in report.results)),
+        text=report.render(),
+        payload={"report": report, "profile": profile},
+    )
+
+
+@bench_robustness_sweep.check
+def _check_robustness_sweep(res: BenchResult) -> None:
+    report = res.payload["report"]
+    # The acceptance story: harder inputs, lower accuracy, deeper exits.
+    assert report.accuracy_degrades_monotonically(slack=0.01)
+    assert report.exit_depth_shift() > 0.0
+    profile = res.payload["profile"]
+    assert profile[-1][3] > profile[0][3]  # normalized OPS rises with severity
+
+
+@benchmark(
+    "scenarios_drift_replay",
+    group=GROUP,
+    title="Scenarios -- drift replay under budget control (MNIST_3C, all taps)",
+    rounds=2,
+    tiers={
+        "tiny": {"num_batches": 9, "batch_size": 32},
+        "small": {"num_batches": 12, "batch_size": 48},
+        "full": {"num_batches": 16, "batch_size": 64},
+    },
+    tolerances={
+        "budget_violations": Tolerance(),
+        "max_ops_frac_of_cap": Tolerance(abs=0.05),
+        "clean_mean_ops": Tolerance(rel=0.25),
+        "shifted_mean_ops": Tolerance(rel=0.25),
+        "settled_budget_rel_error": Tolerance(abs=0.25),
+        "final_delta": None,
+    },
+)
+def bench_drift_replay(ctx: BenchContext) -> BenchResult:
+    """A sudden shift served end to end through the budgeted engine."""
+    trained = get_trained("mnist_3c", ctx.scale, ctx.seed, attach="all")
+    _, test = get_datasets(ctx.scale, ctx.seed)
+    num_batches = int(ctx.params.get("num_batches", 12))
+    batch_size = int(ctx.params.get("batch_size", 32))
+    scenario = default_suite(
+        corruptions=("gaussian_noise",),
+        severities=(1.0,),
+        include_class_skew=False,
+        include_composite=False,
+    ).get("gaussian_noise@1")
+    result = budgeted_drift_replay(
+        trained.cdln,
+        test,
+        scenario,
+        DriftSchedule.sudden(num_batches // 3),
+        batch_size=batch_size,
+        num_batches=num_batches,
+        rng=ctx.seed,
+        delta=DELTA,
+        recalibrate_every=max(2, num_batches // 4),
+    )
+    hard, target = result.hard_ops_budget, result.target_mean_ops
+    clean_ops, shifted_ops = result.mean_ops_by_regime()
+    settled = float(np.mean([p.mean_ops for p in result.phases[-3:]]))
+    return BenchResult(
+        metrics={
+            "budget_violations": float(result.budget_violations),
+            "max_ops_frac_of_cap": result.max_ops_overall / hard,
+            "clean_mean_ops": clean_ops,
+            "shifted_mean_ops": shifted_ops,
+            "settled_budget_rel_error": abs(settled - target) / target,
+            "final_delta": result.final_delta,
+        },
+        units=float(num_batches * batch_size),
+        text=result.render(),
+        payload={"result": result, "hard": hard, "target": target},
+    )
+
+
+@bench_drift_replay.check
+def _check_drift_replay(res: BenchResult) -> None:
+    result = res.payload["result"]
+    # The hard per-request cap is structural: zero violations, ever.
+    assert result.hard_cap_held
+    assert result.max_ops_overall <= res.payload["hard"] * (1 + 1e-12)
+    assert len(result.phases) == len(set(p.batch_index for p in result.phases))

@@ -115,9 +115,17 @@ class StageScoreCache:
         ``num_stages`` small score matrices rather than feature maps.
         """
         cdln._require_fitted()
-        if images.shape[0] == 0:
-            raise ConfigurationError("cannot build a score cache from zero images")
         stages = list(cdln.linear_stages)
+        if images.shape[0] == 0:
+            # Degenerate but well-formed: zero-row score matrices replay to
+            # empty results instead of tripping np.concatenate on [].
+            classes = cdln.num_classes
+            empty = np.empty((0, classes), dtype=np.float64)
+            return cls(
+                cdln,
+                {stage.name: empty.copy() for stage in stages},
+                empty.copy(),
+            )
         taps = [s.attach_index for s in stages]
         per_stage: dict[str, list[np.ndarray]] = {s.name: [] for s in stages}
         final_parts: list[np.ndarray] = []

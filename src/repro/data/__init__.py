@@ -9,6 +9,15 @@ with the identical :class:`~repro.data.dataset.DigitDataset` interface.
 """
 
 from repro.data.augment import AugmentationParams, augment_image
+from repro.data.corruptions import (
+    CORRUPTIONS,
+    Corruption,
+    apply_corruptions,
+    corrupt_dataset,
+    corruption_names,
+    get_corruption,
+    register_corruption,
+)
 from repro.data.dataset import DigitDataset, train_test_split
 from repro.data.glyphs import DIGIT_GLYPHS, glyph_strokes
 from repro.data.rasterize import rasterize_strokes
@@ -20,13 +29,20 @@ from repro.data.synthetic_mnist import (
 
 __all__ = [
     "AugmentationParams",
+    "CORRUPTIONS",
+    "Corruption",
     "DIGIT_GLYPHS",
     "DigitDataset",
     "SyntheticMnistConfig",
+    "apply_corruptions",
     "augment_image",
+    "corrupt_dataset",
+    "corruption_names",
     "generate_synthetic_mnist",
+    "get_corruption",
     "glyph_strokes",
     "make_dataset_pair",
     "rasterize_strokes",
+    "register_corruption",
     "train_test_split",
 ]

@@ -19,12 +19,14 @@ from repro.experiments import (
     fig8_difficulty,
     fig9_stage_sweep,
     fig10_delta_sweep,
+    scenario_robustness,
     table3_accuracy,
     table4_examples,
 )
 from repro.experiments.common import Scale
 
-#: Execution order: headline tables first, then the figure sweeps.
+#: Execution order: headline tables first, then the figure sweeps, then the
+#: beyond-the-paper robustness suite.
 ALL_EXPERIMENTS = (
     ("Table III", table3_accuracy),
     ("Fig. 5", fig5_ops),
@@ -34,6 +36,7 @@ ALL_EXPERIMENTS = (
     ("Fig. 9", fig9_stage_sweep),
     ("Fig. 10", fig10_delta_sweep),
     ("Table IV", table4_examples),
+    ("Robustness", scenario_robustness),
 )
 
 

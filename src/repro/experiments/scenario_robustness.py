@@ -1,0 +1,63 @@
+"""Robustness under corruption & drift (beyond the paper's clean MNIST).
+
+The paper's efficiency claim is conditional on "most inputs are easy";
+this experiment measures what happens when they are not: the default
+scenario suite (clean + every corruption x severity + class skew +
+composite) evaluated through the score cache, plus a sudden-shift drift
+replay through the serving engine under a soft mean-OPS target and a
+hard per-request cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Scale, get_datasets, get_trained
+from repro.scenarios.drift import DriftSchedule
+from repro.scenarios.evaluate import (
+    DriftReplayResult,
+    RobustnessReport,
+    budgeted_drift_replay,
+    evaluate_suite,
+)
+from repro.scenarios.suite import default_suite
+
+DELTA = 0.6
+DRIFT_BATCHES = 12
+DRIFT_BATCH_SIZE = 32
+
+
+@dataclass(frozen=True)
+class ScenarioRobustnessResult:
+    """The suite report plus the serving drift replay."""
+
+    report: RobustnessReport
+    drift: DriftReplayResult
+
+    def render(self) -> str:
+        return "\n\n".join([self.report.render(), self.drift.render()])
+
+
+def run(scale: Scale | None = None, seed: int = 0) -> ScenarioRobustnessResult:
+    scale = scale or Scale.small()
+    trained = get_trained("mnist_3c", scale, seed)
+    _train, test = get_datasets(scale, seed)
+    suite = default_suite()
+    report = evaluate_suite(trained.cdln, test, suite, delta=DELTA)
+
+    # The drift replay serves the all-taps cascade: gain admission can leave
+    # the tiny model with a single linear stage, too shallow for a depth cap
+    # and a soft delta target to both act.
+    cdln = get_trained("mnist_3c", scale, seed, attach="all").cdln
+    drift = budgeted_drift_replay(
+        cdln,
+        test,
+        suite.get("gaussian_noise@1"),
+        DriftSchedule.sudden(DRIFT_BATCHES // 3),
+        batch_size=DRIFT_BATCH_SIZE,
+        num_batches=DRIFT_BATCHES,
+        rng=seed,
+        delta=DELTA,
+        recalibrate_every=max(2, DRIFT_BATCHES // 4),
+    )
+    return ScenarioRobustnessResult(report=report, drift=drift)

@@ -1,0 +1,51 @@
+"""repro.scenarios -- corruption & drift workload suite.
+
+The scenario-diversity axis of the roadmap: declarative workloads
+(:class:`Scenario` = dataset x corruption x severity x class mix), a
+:class:`ScenarioSuite` registry with a built-in robustness suite, drift
+streams (sudden / gradual / recurring shift schedules), and evaluators
+that measure how the cascade's accuracy, exit depth, OPS/energy and
+confidence calibration behave when inputs stop being easy -- offline via
+the score cache (:func:`evaluate_suite`) and online through the serving
+engine under budget control (:func:`replay_drift`).
+"""
+
+from repro.scenarios.drift import (
+    DRIFT_KINDS,
+    DriftBatch,
+    DriftSchedule,
+    DriftStream,
+)
+from repro.scenarios.evaluate import (
+    DriftPhaseStats,
+    DriftReplayResult,
+    RobustnessReport,
+    ScenarioResult,
+    budgeted_drift_replay,
+    evaluate_scenario,
+    evaluate_suite,
+    expected_calibration_error,
+    replay_drift,
+)
+from repro.scenarios.spec import Scenario
+from repro.scenarios.suite import DEFAULT_SEVERITIES, ScenarioSuite, default_suite
+
+__all__ = [
+    "DEFAULT_SEVERITIES",
+    "DRIFT_KINDS",
+    "DriftBatch",
+    "DriftPhaseStats",
+    "DriftReplayResult",
+    "DriftSchedule",
+    "DriftStream",
+    "RobustnessReport",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSuite",
+    "budgeted_drift_replay",
+    "default_suite",
+    "evaluate_scenario",
+    "evaluate_suite",
+    "expected_calibration_error",
+    "replay_drift",
+]

@@ -1,0 +1,176 @@
+"""Distribution-drift streams: batches over time under a shift schedule.
+
+A :class:`DriftStream` interleaves a clean pool and a shifted pool (any
+realized :class:`~repro.scenarios.spec.Scenario`) according to a
+:class:`DriftSchedule` -- sudden step, gradual ramp, or recurring square
+wave -- and yields :class:`DriftBatch` es: exactly what a serving engine
+sees when the world changes under it.  Streams are deterministic from one
+seed, so a drift replay is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import DigitDataset
+from repro.errors import ConfigurationError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction, check_positive_int
+
+#: Supported schedule kinds.
+DRIFT_KINDS = ("sudden", "gradual", "recurring")
+
+
+@dataclass(frozen=True)
+class DriftSchedule:
+    """When, and how abruptly, the shifted distribution takes over.
+
+    ``mix_fraction(t)`` is the fraction of batch ``t`` drawn from the
+    shifted pool:
+
+    * ``sudden``   -- 0 before ``start``, 1 from ``start`` on;
+    * ``gradual``  -- linear ramp from 0 at ``start`` to 1 at ``end``;
+    * ``recurring``-- square wave of ``period`` batches whose trailing
+      ``duty`` fraction is shifted (clean-then-shifted each cycle).
+    """
+
+    kind: str
+    start: int = 0
+    end: int = 0
+    period: int = 0
+    duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in DRIFT_KINDS:
+            raise ConfigurationError(
+                f"unknown drift kind {self.kind!r}; use one of {DRIFT_KINDS}"
+            )
+        if self.start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {self.start}")
+        if self.kind == "gradual" and self.end <= self.start:
+            raise ConfigurationError(
+                f"gradual drift needs end > start, got [{self.start}, {self.end}]"
+            )
+        if self.kind == "recurring":
+            check_positive_int(self.period, "period")
+            check_fraction(self.duty, "duty")
+
+    # -- constructors ----------------------------------------------------------
+    @staticmethod
+    def sudden(at: int) -> "DriftSchedule":
+        return DriftSchedule(kind="sudden", start=at)
+
+    @staticmethod
+    def gradual(start: int, end: int) -> "DriftSchedule":
+        return DriftSchedule(kind="gradual", start=start, end=end)
+
+    @staticmethod
+    def recurring(period: int, duty: float = 0.5) -> "DriftSchedule":
+        return DriftSchedule(kind="recurring", period=period, duty=duty)
+
+    # -- evaluation ------------------------------------------------------------
+    def mix_fraction(self, t: int) -> float:
+        """Fraction of batch ``t`` drawn from the shifted pool, in [0, 1]."""
+        if t < 0:
+            raise ConfigurationError(f"batch index must be >= 0, got {t}")
+        if self.kind == "sudden":
+            return 1.0 if t >= self.start else 0.0
+        if self.kind == "gradual":
+            span = self.end - self.start
+            return float(np.clip((t - self.start) / span, 0.0, 1.0))
+        phase = (t % self.period) / self.period
+        return 1.0 if phase >= 1.0 - self.duty else 0.0
+
+
+@dataclass(frozen=True)
+class DriftBatch:
+    """One timestep of a drift stream."""
+
+    index: int
+    images: np.ndarray
+    labels: np.ndarray
+    #: Scheduled shifted fraction for this batch.
+    mix_fraction: float
+    #: True where the sample was drawn from the shifted pool, ``(B,)``.
+    shifted_mask: np.ndarray
+
+
+class DriftStream:
+    """Batches over time, mixing a clean and a shifted dataset pool.
+
+    Samples are drawn with replacement from each pool (a stream can be
+    much longer than its pools) and the within-batch order is shuffled so
+    consumers cannot rely on clean-first layouts.
+    """
+
+    def __init__(
+        self,
+        clean: DigitDataset,
+        shifted: DigitDataset,
+        schedule: DriftSchedule,
+        *,
+        batch_size: int = 32,
+        num_batches: int = 16,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        if len(clean) == 0 or len(shifted) == 0:
+            raise ConfigurationError("drift pools must be non-empty")
+        if clean.image_shape != shifted.image_shape:
+            raise ConfigurationError(
+                f"pool image shapes disagree: {clean.image_shape} vs "
+                f"{shifted.image_shape}"
+            )
+        self.clean = clean
+        self.shifted = shifted
+        self.schedule = schedule
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.num_batches = check_positive_int(num_batches, "num_batches")
+        # One root seed, one child generator per batch index: iterating the
+        # same stream twice yields identical batches (inspect, then serve).
+        self._root = int(ensure_rng(rng).integers(0, 2**63 - 1))
+
+    @classmethod
+    def from_scenario(
+        cls,
+        base: DigitDataset,
+        scenario,
+        schedule: DriftSchedule,
+        **kwargs,
+    ) -> "DriftStream":
+        """A stream whose shifted pool is ``scenario`` realized over ``base``."""
+        return cls(base, scenario.realize(base), schedule, **kwargs)
+
+    def __len__(self) -> int:
+        return self.num_batches
+
+    def __iter__(self) -> Iterator[DriftBatch]:
+        for t in range(self.num_batches):
+            yield self._make_batch(t)
+
+    def _make_batch(self, t: int) -> DriftBatch:
+        rng = np.random.default_rng((self._root, t))
+        fraction = self.schedule.mix_fraction(t)
+        num_shifted = int(round(fraction * self.batch_size))
+        num_clean = self.batch_size - num_shifted
+        clean_idx = rng.integers(0, len(self.clean), size=num_clean)
+        shifted_idx = rng.integers(0, len(self.shifted), size=num_shifted)
+        images = np.concatenate(
+            [self.clean.images[clean_idx], self.shifted.images[shifted_idx]]
+        )
+        labels = np.concatenate(
+            [self.clean.labels[clean_idx], self.shifted.labels[shifted_idx]]
+        )
+        mask = np.concatenate(
+            [np.zeros(num_clean, dtype=bool), np.ones(num_shifted, dtype=bool)]
+        )
+        order = rng.permutation(self.batch_size)
+        return DriftBatch(
+            index=t,
+            images=images[order],
+            labels=labels[order],
+            mix_fraction=fraction,
+            shifted_mask=mask[order],
+        )

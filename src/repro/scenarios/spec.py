@@ -1,0 +1,159 @@
+"""Declarative workload scenarios: dataset x corruption x severity x class mix.
+
+A :class:`Scenario` is a pure description -- which corruptions at which
+severities, an optional class-frequency skew, an optional sample cap, and
+a seed.  :meth:`Scenario.realize` turns it into a concrete
+:class:`~repro.data.dataset.DigitDataset` against any base dataset, fully
+deterministically, so the same suite can be realized at every scale tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.corruptions import get_corruption
+from repro.data.dataset import DigitDataset
+from repro.errors import ConfigurationError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative evaluation workload.
+
+    Attributes
+    ----------
+    name:
+        Unique display name within a suite.
+    corruptions:
+        Ordered ``(corruption name, severity)`` chain applied after any
+        resampling; empty means the clean base dataset.
+    class_mix:
+        Optional per-class sampling weights (length ``num_classes``); the
+        realized dataset is drawn *with replacement* from the base
+        according to these weights.  ``None`` keeps the base composition.
+    sample_limit:
+        Cap on the realized dataset size (defaults to the base size).
+    seed:
+        Seed for resampling and corruption randomness; realization is a
+        pure function of ``(base, scenario)``.
+    description:
+        One-line human note carried into reports.
+    """
+
+    name: str
+    corruptions: tuple[tuple[str, float], ...] = ()
+    class_mix: tuple[float, ...] | None = None
+    sample_limit: int | None = None
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must not be empty")
+        normalized = []
+        for item in self.corruptions:
+            name, severity = item
+            get_corruption(name)  # raises on unknown names
+            normalized.append((str(name), check_fraction(severity, "severity")))
+        object.__setattr__(self, "corruptions", tuple(normalized))
+        if self.class_mix is not None:
+            mix = tuple(float(w) for w in self.class_mix)
+            if not mix or min(mix) < 0 or sum(mix) <= 0:
+                raise ConfigurationError(
+                    "class_mix must be non-negative weights with a positive sum"
+                )
+            object.__setattr__(self, "class_mix", mix)
+        if self.sample_limit is not None and self.sample_limit < 1:
+            raise ConfigurationError(
+                f"sample_limit must be >= 1, got {self.sample_limit}"
+            )
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def severity(self) -> float:
+        """Headline severity: the maximum over the corruption chain."""
+        return max((s for _, s in self.corruptions), default=0.0)
+
+    @property
+    def primary_corruption(self) -> str:
+        """First corruption name, or ``"clean"`` for the identity scenario."""
+        return self.corruptions[0][0] if self.corruptions else "clean"
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.corruptions and self.class_mix is None
+
+    # -- realization -----------------------------------------------------------
+    def realize(self, base: DigitDataset) -> DigitDataset:
+        """A concrete dataset for this scenario over ``base`` (deterministic)."""
+        if len(base) == 0:
+            raise ConfigurationError("cannot realize a scenario over an empty dataset")
+        rng = ensure_rng(self.seed)
+        size = min(self.sample_limit or len(base), len(base))
+        if self.class_mix is not None:
+            if len(self.class_mix) != base.num_classes:
+                raise ConfigurationError(
+                    f"class_mix has {len(self.class_mix)} weights but the dataset "
+                    f"has {base.num_classes} classes"
+                )
+            data = self._resample_by_class(base, rng, size)
+        elif size < len(base):
+            indices = rng.choice(len(base), size=size, replace=False)
+            data = base.subset(np.sort(indices))
+        else:
+            data = base
+        if self.corruptions:
+            from repro.data.corruptions import apply_corruptions
+
+            data = apply_corruptions(data, self.corruptions, rng)
+        if data is base:
+            data = base.subset(np.arange(len(base)))
+        return DigitDataset(
+            images=data.images,
+            labels=data.labels,
+            num_classes=data.num_classes,
+            difficulty=data.difficulty,
+            name=f"{base.name}:{self.name}",
+        )
+
+    def _resample_by_class(
+        self, base: DigitDataset, rng: np.random.Generator, size: int
+    ) -> DigitDataset:
+        """Draw ``size`` samples with replacement under the class mix."""
+        weights = np.asarray(self.class_mix, dtype=np.float64)
+        present = base.class_counts() > 0
+        weights = np.where(present, weights, 0.0)
+        if weights.sum() <= 0:
+            raise ConfigurationError(
+                f"class_mix of scenario {self.name!r} puts all weight on classes "
+                "absent from the base dataset"
+            )
+        weights = weights / weights.sum()
+        drawn_classes = rng.choice(base.num_classes, size=size, p=weights)
+        by_class = {
+            digit: np.flatnonzero(base.labels == digit)
+            for digit in np.unique(drawn_classes)
+        }
+        indices = np.array(
+            [
+                by_class[digit][rng.integers(0, by_class[digit].size)]
+                for digit in drawn_classes
+            ],
+            dtype=np.int64,
+        )
+        return base.subset(indices)
+
+    def describe(self) -> str:
+        """Compact one-line summary for tables and CLI listings."""
+        if self.is_clean:
+            chain = "clean"
+        else:
+            parts = [f"{name}@{severity:g}" for name, severity in self.corruptions]
+            if self.class_mix is not None:
+                parts.append("class-skew")
+            chain = "+".join(parts) or "class-skew"
+        return chain

@@ -1,0 +1,111 @@
+"""Named collections of scenarios and the built-in robustness suite."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.data.corruptions import corruption_names
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import Scenario
+
+#: Severity grid the default suite sweeps (0 is covered by the clean scenario).
+DEFAULT_SEVERITIES = (0.25, 0.5, 0.75, 1.0)
+
+
+class ScenarioSuite:
+    """An ordered, name-keyed registry of scenarios."""
+
+    def __init__(self, name: str = "suite") -> None:
+        self.name = name
+        self._scenarios: dict[str, Scenario] = {}
+
+    def add(self, scenario: Scenario) -> Scenario:
+        if scenario.name in self._scenarios:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} is already in suite {self.name!r}"
+            )
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown scenario {name!r}; available: {sorted(self._scenarios)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios.values())
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._scenarios)
+
+    def select(self, names=None) -> list[Scenario]:
+        """Scenarios for ``names`` (all, in insertion order, when None)."""
+        if not names:
+            return list(self)
+        return [self.get(name) for name in names]
+
+    def __repr__(self) -> str:
+        return f"ScenarioSuite({self.name!r}, {len(self)} scenario(s))"
+
+
+def default_suite(
+    *,
+    corruptions: tuple[str, ...] | None = None,
+    severities: tuple[float, ...] = DEFAULT_SEVERITIES,
+    include_class_skew: bool = True,
+    include_composite: bool = True,
+    seed: int = 0,
+) -> ScenarioSuite:
+    """The built-in robustness suite: clean + every corruption x severity.
+
+    Adds a heavy-tail class skew and a composite (blur + noise) scenario so
+    the report covers distribution shift beyond single pixel corruptions.
+    """
+    if corruptions is None:
+        corruptions = corruption_names()
+    # Dedup while preserving order: `--severities 0.5 .5` must not trip the
+    # suite's duplicate-name detection.
+    severities = tuple(dict.fromkeys(float(s) for s in severities))
+    suite = ScenarioSuite("default")
+    suite.add(Scenario(name="clean", seed=seed, description="uncorrupted base"))
+    for name in corruptions:
+        for severity in severities:
+            suite.add(
+                Scenario(
+                    name=f"{name}@{severity:g}",
+                    corruptions=((name, float(severity)),),
+                    seed=seed,
+                    description=f"{name} at severity {severity:g}",
+                )
+            )
+    if include_composite:
+        top = max(severities)
+        suite.add(
+            Scenario(
+                name="composite_blur_noise",
+                corruptions=(("blur", 0.5 * top), ("gaussian_noise", 0.5 * top)),
+                seed=seed,
+                description="mild blur then mild noise (sensor pipeline drift)",
+            )
+        )
+    if include_class_skew:
+        # Two dominant classes, a long tail over the rest.
+        mix = tuple(8.0 if digit in (0, 1) else 0.5 for digit in range(10))
+        suite.add(
+            Scenario(
+                name="class_skew",
+                class_mix=mix,
+                seed=seed,
+                description="traffic skewed 16:1 toward two classes",
+            )
+        )
+    return suite

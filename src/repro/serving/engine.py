@@ -239,6 +239,10 @@ class InferenceEngine:
         return [t.result(timeout=0) for t in tickets]
 
     def _process_batch(self, batch: list[_Pending]) -> None:
+        if not batch:
+            # A degenerate dispatch (drained queue, empty flush) is a no-op,
+            # not an np.stack([]) crash / NaN-mean controller observation.
+            return
         with self._lock:
             # Snapshot both together so a concurrent use_model() cannot
             # leave an in-flight batch recording old-model exit stages

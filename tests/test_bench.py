@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.bench import (
@@ -127,6 +128,7 @@ class TestRegistry:
             "substrate_mnist_3c_inference", "substrate_mnist_3c_training_epoch",
             "substrate_synthetic_generation", "substrate_conditional_inference",
             "serving_throughput", "serving_delta_budget", "serving_hot_path",
+            "scenarios_robustness_sweep", "scenarios_drift_replay",
         }
         assert expected <= names
 
@@ -412,3 +414,110 @@ class TestCli:
         code = cli_main(["run", "--only", "no_such_bench", "--scale", "tiny"])
         assert code == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestCliErrorPaths:
+    """The harness's failure modes: every bad input must map to a clear
+    message and the right exit code (2 = usage/config, 1 = gate failure)."""
+
+    def _baseline_dir(self, tmp_path):
+        registry = make_registry()
+        base_dir = tmp_path / "base"
+        run_benchmarks(tier="tiny", out_dir=base_dir, registry=registry)
+        return base_dir
+
+    def test_unknown_spec_in_update_baseline(self, capsys):
+        code = cli_main(
+            ["update-baseline", "--only", "no_such_bench", "--scale", "tiny",
+             "--baseline-dir", "/tmp/nonexistent-baselines"]
+        )
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_compare_missing_baseline_dir_fails(self, tmp_path, capsys):
+        run_dir = self._baseline_dir(tmp_path)
+        code = cli_main(
+            ["compare", "--run-dir", str(run_dir),
+             "--baseline-dir", str(tmp_path / "never-written")]
+        )
+        assert code == 1
+        assert "no baseline artifacts" in capsys.readouterr().out
+
+    def test_compare_missing_run_artifact_fails(self, tmp_path, capsys):
+        base_dir = self._baseline_dir(tmp_path)
+        empty_run = tmp_path / "run"
+        empty_run.mkdir()
+        (empty_run / "BENCH_other.json").write_text(
+            (base_dir / "BENCH_toy.json").read_text().replace('"toy"', '"other"')
+        )
+        code = cli_main(
+            ["compare", "--run-dir", str(empty_run), "--baseline-dir", str(base_dir)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "MISSING" in out and "UNBASELINED" in out
+
+    def test_corrupt_artifact_json_is_config_error(self, tmp_path, capsys):
+        base_dir = self._baseline_dir(tmp_path)
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "BENCH_toy.json").write_text("{not json")
+        code = cli_main(
+            ["compare", "--run-dir", str(run_dir), "--baseline-dir", str(base_dir)]
+        )
+        assert code == 2
+        assert "cannot read artifact" in capsys.readouterr().err
+
+    def test_truncated_artifact_dict_is_config_error(self, tmp_path):
+        path = tmp_path / "BENCH_half.json"
+        path.write_text(json.dumps({"schema": SCHEMA, "benchmark": "half"}))
+        with pytest.raises(ConfigurationError, match="missing keys"):
+            load_artifact(path)
+
+    def test_tolerance_band_edge_passes_epsilon_beyond_fails(self, tmp_path):
+        # Exactly-representable numbers so "on the edge" is exact in binary:
+        # baseline 2.0, Tolerance(abs=0.5), run value 2.5.
+        registry = Registry()
+
+        @benchmark(
+            "edge",
+            rounds=1,
+            warmup_rounds=0,
+            tolerances={"gated": Tolerance(abs=0.5)},
+            registry=registry,
+        )
+        def edge(ctx):
+            return BenchResult(metrics={"gated": 2.0})
+
+        base_dir = tmp_path / "base"
+        run_dir = tmp_path / "run"
+        run_benchmarks(tier="tiny", out_dir=base_dir, registry=registry)
+        run_benchmarks(tier="tiny", out_dir=run_dir, registry=registry)
+        path = run_dir / "BENCH_edge.json"
+        data = json.loads(path.read_text())
+
+        # |2.5 - 2.0| == 0.5: exactly on the band edge must pass...
+        data["metrics"]["gated"] = 2.5
+        path.write_text(json.dumps(data))
+        report = compare_dirs(run_dir, base_dir, registry=registry)
+        assert report.passed
+
+        # ...while one representable step beyond it must fail.
+        data["metrics"]["gated"] = np.nextafter(2.5, 10.0)
+        path.write_text(json.dumps(data))
+        report = compare_dirs(run_dir, base_dir, registry=registry)
+        assert not report.passed
+        assert [d.metric for d in report.regressions] == ["gated"]
+
+    def test_mixed_tier_baselines_need_explicit_scale(self, tmp_path):
+        from repro.bench.cli import _resolve_tier
+
+        registry = make_registry()
+        base_dir = tmp_path / "baselines"
+        run_benchmarks(tier="tiny", out_dir=base_dir, registry=registry)
+        other = json.loads((base_dir / "BENCH_toy.json").read_text())
+        other["benchmark"] = "toy_small"
+        other["tier"] = "small"
+        (base_dir / "BENCH_toy_small.json").write_text(json.dumps(other))
+        with pytest.raises(ConfigurationError, match="mix tiers"):
+            _resolve_tier(None, base_dir)

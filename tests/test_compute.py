@@ -344,9 +344,14 @@ class TestStageScoreCache:
         np.testing.assert_array_equal(naive.labels, fast.labels)
         np.testing.assert_array_equal(naive.exit_stages, fast.exit_stages)
 
-    def test_rejects_empty_build_and_unknown_stage(self, trained_3c, tiny_test_set):
-        with pytest.raises(ConfigurationError):
-            StageScoreCache.build(trained_3c.cdln, tiny_test_set.images[:0])
+    def test_empty_build_is_well_formed_and_unknown_stage_rejected(
+        self, trained_3c, tiny_test_set
+    ):
+        # An empty sample yields an empty (but fully functional) cache; the
+        # degenerate-input contract lives in tests/test_serving.py too.
+        empty = StageScoreCache.build(trained_3c.cdln, tiny_test_set.images[:0])
+        assert empty.num_inputs == 0
+        assert empty.replay(0.6).labels.shape == (0,)
         cache = StageScoreCache.build(trained_3c.cdln, tiny_test_set.images[:8])
         with pytest.raises(ConfigurationError):
             cache.scores_for("nope")

@@ -156,7 +156,7 @@ class TestRunner:
         names = [name for name, _ in ALL_EXPERIMENTS]
         assert names == [
             "Table III", "Fig. 5", "Fig. 6", "Fig. 7",
-            "Fig. 8", "Fig. 9", "Fig. 10", "Table IV",
+            "Fig. 8", "Fig. 9", "Fig. 10", "Table IV", "Robustness",
         ]
 
     def test_run_all_tiny(self, tiny_scale):

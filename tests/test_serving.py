@@ -453,3 +453,78 @@ class TestServingMetrics:
     def test_rejects_empty_stage_names(self):
         with pytest.raises(ConfigurationError):
             ServingMetrics(())
+
+
+# -- degenerate inputs ---------------------------------------------------------
+
+
+class TestDegenerateInputs:
+    """Empty batches, single samples and all-exit-at-stage-0 workloads must
+    produce well-formed results, not incidental numpy behavior."""
+
+    def test_classify_many_empty_array(self, trained_3c):
+        engine = InferenceEngine(model=trained_3c.cdln, delta=0.6)
+        assert engine.classify_many(np.empty((0, 1, 28, 28))) == []
+        assert engine.metrics.snapshot().requests == 0
+
+    def test_flush_with_nothing_pending(self, trained_3c):
+        engine = InferenceEngine(model=trained_3c.cdln, delta=0.6)
+        assert engine.flush() == 0
+
+    def test_process_batch_empty_is_noop(self, trained_3c):
+        controller = DeltaController(target_mean_ops=1.0, delta=0.6)
+        engine = InferenceEngine(model=trained_3c.cdln, controller=controller)
+        engine._process_batch([])  # no np.stack crash, no NaN observation
+        assert engine.metrics.snapshot().batches == 0
+
+    def test_single_sample_round_trip(self, trained_3c, tiny_test_set):
+        engine = InferenceEngine(model=trained_3c.cdln, delta=0.6)
+        response = engine.classify(tiny_test_set.images[0])
+        offline = trained_3c.cdln.predict(tiny_test_set.images[:1], delta=0.6)
+        assert response.batch_size == 1
+        assert response.label == int(offline.labels[0])
+        assert response.exit_stage == int(offline.exit_stages[0])
+
+    def test_all_exit_at_stage_zero_under_tight_cap(self, trained_3c, tiny_test_set):
+        totals = trained_3c.cdln.path_cost_table().exit_totals()
+        budget = float(totals[0]) * 1.01  # only the first exit is affordable
+        controller = DeltaController(hard_ops_budget=budget, delta=0.6)
+        engine = InferenceEngine(model=trained_3c.cdln, controller=controller)
+        responses = engine.classify_many(tiny_test_set.images[:32])
+        assert all(r.exit_stage == 0 for r in responses)
+        assert all(r.ops <= budget for r in responses)
+        snap = engine.metrics.snapshot()
+        assert snap.exit_stage_counts[0] == 32
+        assert snap.exit_stage_counts[1:].sum() == 0
+
+    def test_empty_predict_is_well_formed(self, trained_3c):
+        result = trained_3c.cdln.predict(np.empty((0, 1, 28, 28)), delta=0.6)
+        assert result.labels.shape == (0,)
+        assert result.exit_stages.shape == (0,)
+        assert result.confidences.shape == (0,)
+
+    def test_score_cache_empty_build_and_replay(self, trained_3c):
+        from repro.cdl.score_cache import StageScoreCache
+
+        cache = StageScoreCache.build(trained_3c.cdln, np.empty((0, 1, 28, 28)))
+        assert cache.num_inputs == 0
+        assert cache.cached_stage_names == tuple(
+            s.name for s in trained_3c.cdln.linear_stages
+        )
+        result = cache.replay(0.6)
+        assert result.labels.shape == (0,)
+        assert result.exit_stages.shape == (0,)
+        assert cache.exit_stages(0.6).shape == (0,)
+        # Depth caps and stage subsets stay valid on the empty cache.
+        assert cache.exit_stages(0.6, max_stage=0).shape == (0,)
+
+    def test_score_cache_single_sample_matches_predict(self, trained_3c, tiny_test_set):
+        from repro.cdl.score_cache import StageScoreCache
+
+        image = tiny_test_set.images[:1]
+        cache = StageScoreCache.build(trained_3c.cdln, image)
+        replayed = cache.replay(0.6)
+        offline = trained_3c.cdln.predict(image, delta=0.6)
+        np.testing.assert_array_equal(replayed.labels, offline.labels)
+        np.testing.assert_array_equal(replayed.exit_stages, offline.exit_stages)
+        np.testing.assert_array_equal(replayed.confidences, offline.confidences)
