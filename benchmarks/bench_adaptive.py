@@ -1,0 +1,13 @@
+"""Adaptive-serving benches: drift response head-to-head, false triggers.
+
+The adaptive PR's two claims, timed and shape-checked.  Bodies and
+checks: ``repro.bench.suites.adaptive``.
+"""
+
+
+def test_adaptive_drift_response(run_spec):
+    run_spec("adaptive_drift_response")
+
+
+def test_adaptive_false_triggers(run_spec):
+    run_spec("adaptive_false_triggers")

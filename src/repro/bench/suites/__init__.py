@@ -8,6 +8,7 @@ double-registration loud).
 
 from repro.bench.suites import (
     ablations,
+    adaptive,
     figures,
     hotpath,
     scenarios,
@@ -15,4 +16,12 @@ from repro.bench.suites import (
     substrate,
 )
 
-__all__ = ["ablations", "figures", "hotpath", "scenarios", "serving", "substrate"]
+__all__ = [
+    "ablations",
+    "adaptive",
+    "figures",
+    "hotpath",
+    "scenarios",
+    "serving",
+    "substrate",
+]

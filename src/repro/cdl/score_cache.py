@@ -148,6 +148,11 @@ class StageScoreCache:
         return int(self._final.shape[0])
 
     @property
+    def num_stages(self) -> int:
+        """Stage count of the source CDLN (linear stages + final head)."""
+        return len(self._cdln.stages)
+
+    @property
     def cached_stage_names(self) -> tuple[str, ...]:
         return tuple(self._scores)
 
@@ -160,6 +165,30 @@ class StageScoreCache:
                 f"no cached scores for stage {stage_name!r}; "
                 f"cached: {sorted(self._scores)}"
             ) from None
+
+    def stage0_confidences(self, *, activation_module=None) -> np.ndarray:
+        """Per-input confidence of the cascade's *first* stage, ``(N,)``.
+
+        The first stage sees every input (nothing has exited yet), so its
+        confidences fingerprint the input distribution itself -- and for
+        the built-in policies the confidence value depends only on the
+        scores, never on δ or a depth cap.  This is the adaptive serving
+        drift signal (:mod:`repro.serving.adaptive`): compare live
+        stage-0 confidence quantiles against a reference sample's.
+
+        Falls back to the final head for a cascade with no linear stages.
+        """
+        am = activation_module
+        if am is None:
+            am = self._cdln.activation_module
+        stages = list(self._cdln.linear_stages)
+        if stages:
+            scores = self.scores_for(stages[0].name)
+            probs = True
+        else:
+            scores = self._final
+            probs = self._final_probs
+        return am.decide(scores, None, scores_are_probabilities=probs).confidence
 
     # -- replay ----------------------------------------------------------------
     def _decide(

@@ -25,6 +25,7 @@ from repro.scenarios.evaluate import (
     evaluate_scenario,
     evaluate_suite,
     expected_calibration_error,
+    realize_and_score,
     replay_drift,
 )
 from repro.scenarios.spec import Scenario
@@ -47,5 +48,6 @@ __all__ = [
     "evaluate_scenario",
     "evaluate_suite",
     "expected_calibration_error",
+    "realize_and_score",
     "replay_drift",
 ]

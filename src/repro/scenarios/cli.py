@@ -1,11 +1,18 @@
-"""``python -m repro.scenarios`` -- list scenarios / run the robustness suite.
+"""``python -m repro.scenarios`` -- list / run the suite / build tables.
 
 ``run`` trains (or reuses the process-cached) model for the requested
 architecture at a scale tier, evaluates the scenario suite on the test
 split, then replays a drift stream through the serving engine under a
-soft mean-OPS target plus a hard per-request cap, printing both reports
-and an overall verdict.  ``--out`` additionally writes the whole report
-as JSON for downstream tooling.
+soft mean-OPS target plus a hard per-request cap -- scheduled
+recalibration by default, detector-driven operating-table retargeting
+with ``--adaptive``.  ``--out`` additionally writes the whole report as
+JSON for downstream tooling.
+
+``tables`` precomputes the scenario-conditioned operating table (per
+regime: δ → accuracy / mean OPS / energy, plus the regime's drift
+signature) and writes it as a JSON artifact that
+``ModelRegistry.register(..., operating_table=...)`` loads back --
+see ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -41,16 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="evaluate the suite and replay a drift stream"
     )
     _add_suite_options(run)
+    _add_model_options(run)
     run.add_argument(
-        "--tier",
-        choices=TIERS,
-        default="small",
-        help="scale tier for data and training (default: small)",
-    )
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--arch", default="mnist_3c", help="architecture to train")
-    run.add_argument(
-        "--delta", type=float, default=DEFAULT_DELTA, help="runtime threshold"
+        "--delta", type=float, default=DEFAULT_DELTA,
+        help=f"runtime confidence threshold (default: {DEFAULT_DELTA})",
     )
     run.add_argument(
         "--drift",
@@ -65,9 +66,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--drift-batch-size", type=int, default=32, help="requests per batch"
     )
     run.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="replace scheduled recalibration with detector-driven "
+        "operating-table retargeting in the drift replay",
+    )
+    run.add_argument(
         "--out", type=Path, default=None, help="write the report as JSON here"
     )
+
+    tables = sub.add_parser(
+        "tables",
+        help="precompute the per-scenario operating table as a JSON artifact",
+    )
+    _add_suite_options(tables)
+    _add_model_options(tables)
+    tables.add_argument(
+        "--reference-delta", type=float, default=DEFAULT_DELTA,
+        help="δ at which regime drift signatures are fingerprinted "
+        f"(default: {DEFAULT_DELTA})",
+    )
+    tables.add_argument(
+        "--deltas",
+        nargs="+",
+        type=float,
+        default=None,
+        help="δ grid tabulated per regime (default: 19 points in "
+        "[0.05, 0.95])",
+    )
+    tables.add_argument(
+        "--out",
+        type=Path,
+        required=True,
+        help="where to write the operating-table JSON "
+        "(convention: <checkpoint>.optable.json next to the model)",
+    )
     return parser
+
+
+def _add_model_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tier",
+        choices=TIERS,
+        default="small",
+        help="scale tier for data and training (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="training seed")
+    parser.add_argument("--arch", default="mnist_3c", help="architecture to train")
 
 
 def _add_suite_options(parser: argparse.ArgumentParser) -> None:
@@ -163,12 +208,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             rng=args.seed,
             delta=args.delta,
             recalibrate_every=max(2, args.drift_batches // 4),
+            adaptive=args.adaptive,
         )
         hard = drift_result.hard_ops_budget
         cap_desc = f"hard cap {hard:g} OPS" if hard is not None else "no hard cap"
+        mode = (
+            "adaptive table retargeting"
+            if args.adaptive
+            else "scheduled recalibration"
+        )
         print()
         print(
-            f"drift replay: {args.drift} shift to {shifted_name!r}, "
+            f"drift replay ({mode}): {args.drift} shift to {shifted_name!r}, "
             f"{args.drift_batches} x {args.drift_batch_size} requests, "
             f"soft target {drift_result.target_mean_ops:g} OPS, {cap_desc}"
         )
@@ -182,6 +233,53 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"\nwrote JSON report to {args.out}")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.serving.adaptive import DEFAULT_TABLE_GRID, OperatingTable
+
+    suite = _build_suite(args)
+    scale = getattr(Scale, args.tier)()
+    print(
+        f"training {args.arch} at tier {args.tier!r} (seed {args.seed}) ...",
+        flush=True,
+    )
+    trained = get_trained(args.arch, scale, seed=args.seed, attach="all")
+    _train, test = get_datasets(scale, seed=args.seed)
+    deltas = tuple(args.deltas) if args.deltas else DEFAULT_TABLE_GRID
+    print(
+        f"tabulating {len(suite)} regime(s) x {len(deltas)} delta(s) on "
+        f"{len(test)} samples ..."
+    )
+    table = OperatingTable.build(
+        trained.cdln,
+        test,
+        list(suite),
+        deltas=deltas,
+        reference_delta=args.reference_delta,
+    )
+    summary = AsciiTable(
+        ["regime", "spec", "min OPS", "max OPS", "best acc (%)", "best-acc δ"],
+        title=f"Operating table ({len(table)} regimes, "
+        f"reference {table.reference_regime!r})",
+    )
+    for name in table.regime_names:
+        entry = table.entry(name)
+        best = max(entry.points, key=lambda p: p.accuracy)
+        summary.add_row(
+            [
+                name,
+                entry.scenario_spec,
+                int(round(min(p.mean_ops for p in entry.points))),
+                int(round(max(p.mean_ops for p in entry.points))),
+                round(best.accuracy * 100, 2),
+                f"{best.delta:g}",
+            ]
+        )
+    print(summary.render())
+    path = table.save(args.out)
+    print(f"wrote operating table to {path}")
     return 0
 
 
@@ -208,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_list(args)
         if args.command == "run":
             return cmd_run(args)
+        if args.command == "tables":
+            return cmd_tables(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -69,7 +69,15 @@ def expected_calibration_error(
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """Everything measured for one scenario at one δ."""
+    """Everything measured for one scenario at one δ.
+
+    Units: ``mean_ops`` in scalar OPS per input, ``normalized_ops``
+    relative to the unconditional baseline's OPS, ``mean_energy_pj`` in
+    pJ, ``accuracy`` / ``exit_fractions`` / ``calibration_error`` as
+    fractions in [0, 1], ``mean_exit_stage`` as a stage index (0 is the
+    first linear stage).  ``delta`` is the runtime threshold the replay
+    used (``None`` = the activation module's default).
+    """
 
     scenario: Scenario
     delta: float | None
@@ -242,6 +250,26 @@ class RobustnessReport:
         }
 
 
+def realize_and_score(
+    cdln: CDLN,
+    base: DigitDataset,
+    scenario: Scenario,
+    *,
+    batch_size: int = 256,
+) -> tuple[DigitDataset, StageScoreCache]:
+    """Realize ``scenario`` over ``base`` and score the backbone once.
+
+    Returns the realized dataset and its
+    :class:`~repro.cdl.score_cache.StageScoreCache` -- the expensive half
+    of every scenario evaluation, split out so consumers that need both
+    the per-δ results *and* the raw cache (operating-table construction,
+    drift-signature fingerprinting) pay the backbone exactly once: pass
+    the pair back via ``evaluate_scenario(..., prepared=...)``.
+    """
+    data = scenario.realize(base)
+    return data, StageScoreCache.build(cdln, data.images, batch_size=batch_size)
+
+
 def evaluate_scenario(
     cdln: CDLN,
     base: DigitDataset,
@@ -250,17 +278,29 @@ def evaluate_scenario(
     deltas: Sequence[float | None] | float | None = None,
     technology: TechnologyModel = TECHNOLOGY_45NM,
     batch_size: int = 256,
+    prepared: tuple[DigitDataset, StageScoreCache] | None = None,
 ) -> list[ScenarioResult]:
     """Evaluate one scenario; one result per requested δ.
 
     The backbone is scored exactly once (one
     :class:`~repro.cdl.score_cache.StageScoreCache` build over the realized
     images); every δ replays from the cache, bit-exact with a live run.
+
+    Parameters
+    ----------
+    deltas:
+        One δ, a sequence of δs, or ``None`` for the activation module's
+        default; each yields one :class:`ScenarioResult`.
+    prepared:
+        Optional ``(realized dataset, cache)`` pair from
+        :func:`realize_and_score`, to share one scoring pass with other
+        consumers of the same scenario.
     """
     if deltas is None or isinstance(deltas, (int, float)):
         deltas = [deltas]
-    data = scenario.realize(base)
-    cache = StageScoreCache.build(cdln, data.images, batch_size=batch_size)
+    if prepared is None:
+        prepared = realize_and_score(cdln, base, scenario, batch_size=batch_size)
+    data, cache = prepared
     results = []
     for delta in deltas:
         ev = evaluate_cached(cache, data, delta=delta, technology=technology)
@@ -315,7 +355,16 @@ def evaluate_suite(
 
 @dataclass(frozen=True)
 class DriftPhaseStats:
-    """Per-batch telemetry of a drift replay."""
+    """Per-batch telemetry of a drift replay.
+
+    ``mean_ops`` / ``max_ops`` cover the *served requests only*;
+    ``overhead_ops`` carries the control-plane OPS spent immediately
+    before this batch (initial calibration on batch 0, scheduled
+    recalibration passes later -- each is a full backbone scoring pass
+    over the calibration images).  Keeping the two separate is what makes
+    adaptive-vs-scheduled comparisons fair: a scheduled recalibration is
+    not free, and a table retarget costs nothing online.
+    """
 
     batch_index: int
     mix_fraction: float
@@ -324,11 +373,27 @@ class DriftPhaseStats:
     max_ops: float
     mean_exit_stage: float
     delta: float
+    num_requests: int = 0
+    #: OPS spent on calibration passes attributed to this batch (0 when
+    #: no recalibration preceded it; retargets are free).
+    overhead_ops: float = 0.0
+    #: Drift-detector score after this batch (adaptive replays only).
+    drift_score: float | None = None
+    #: Operating regime the controller served this batch under
+    #: (adaptive replays only).
+    regime: str | None = None
 
 
 @dataclass(frozen=True)
 class DriftReplayResult:
-    """What happened when the engine served a drifting stream."""
+    """What happened when the engine served a drifting stream.
+
+    ``recalibrations`` counts scheduled live calibration passes,
+    ``retargets`` counts adaptive table retargets; ``offline_table_ops``
+    records what building the operating table cost *offline* (amortized
+    across every deployment of the model, and excluded from the online
+    budget accounting -- see :meth:`budget_error`).
+    """
 
     phases: tuple[DriftPhaseStats, ...]
     target_mean_ops: float | None
@@ -339,10 +404,17 @@ class DriftReplayResult:
     max_ops_overall: float
     final_delta: float
     recalibrations: int
+    retargets: int = 0
+    offline_table_ops: float = 0.0
 
     @property
     def hard_cap_held(self) -> bool:
         return self.budget_violations == 0
+
+    @property
+    def total_overhead_ops(self) -> float:
+        """Online control-plane OPS (calibration passes) across the replay."""
+        return float(sum(p.overhead_ops for p in self.phases))
 
     def mean_ops_by_regime(self) -> tuple[float, float]:
         """Mean per-batch OPS over (clean, shifted) regimes (NaN if absent)."""
@@ -351,6 +423,48 @@ class DriftReplayResult:
         return (
             float(np.mean(clean)) if clean else float("nan"),
             float(np.mean(shifted)) if shifted else float("nan"),
+        )
+
+    def mean_ops_overall(self, *, include_overhead: bool = False) -> float:
+        """Request-weighted mean OPS, optionally amortizing calibration
+        overhead over the served requests."""
+        requests = sum(p.num_requests for p in self.phases)
+        served = sum(p.mean_ops * p.num_requests for p in self.phases)
+        if include_overhead:
+            served += self.total_overhead_ops
+        return served / max(requests, 1)
+
+    def budget_error(
+        self,
+        *,
+        phases: Sequence[DriftPhaseStats] | None = None,
+        include_overhead: bool = True,
+    ) -> float:
+        """Relative mean-OPS error against the soft target.
+
+        ``|mean served OPS - target| / target`` over ``phases`` (all by
+        default), with each phase's calibration overhead amortized over
+        its requests when ``include_overhead`` -- the fair basis for
+        adaptive-vs-scheduled comparisons.  NaN without a soft target.
+        """
+        if self.target_mean_ops is None:
+            return float("nan")
+        subset = list(self.phases if phases is None else phases)
+        requests = sum(p.num_requests for p in subset)
+        if requests == 0:
+            return float("nan")
+        served = sum(p.mean_ops * p.num_requests for p in subset)
+        if include_overhead:
+            served += sum(p.overhead_ops for p in subset)
+        mean = served / requests
+        return abs(mean - self.target_mean_ops) / self.target_mean_ops
+
+    def post_shift_budget_error(self, *, include_overhead: bool = True) -> float:
+        """:meth:`budget_error` restricted to majority-shifted batches --
+        how well the controller held the budget once the world changed."""
+        return self.budget_error(
+            phases=[p for p in self.phases if p.mix_fraction >= 0.5],
+            include_overhead=include_overhead,
         )
 
     def render(self) -> str:
@@ -388,7 +502,13 @@ class DriftReplayResult:
                 f"soft target {self.target_mean_ops:g} mean OPS: served "
                 f"{clean_ops:g} clean / {shifted_ops:g} shifted, final "
                 f"delta {self.final_delta:.3f} after {self.recalibrations} "
-                "recalibration(s)"
+                f"recalibration(s) / {self.retargets} retarget(s)"
+            )
+        if self.total_overhead_ops > 0:
+            requests = max(sum(p.num_requests for p in self.phases), 1)
+            lines.append(
+                f"calibration overhead: {self.total_overhead_ops:g} OPS "
+                f"({self.total_overhead_ops / requests:g} per served request)"
             )
         return "\n".join(lines)
 
@@ -400,6 +520,9 @@ class DriftReplayResult:
             "max_ops_overall": self.max_ops_overall,
             "final_delta": self.final_delta,
             "recalibrations": self.recalibrations,
+            "retargets": self.retargets,
+            "overhead_ops": self.total_overhead_ops,
+            "offline_table_ops": self.offline_table_ops,
             "phases": [
                 {
                     "batch": p.batch_index,
@@ -409,6 +532,10 @@ class DriftReplayResult:
                     "max_ops": p.max_ops,
                     "mean_exit_stage": p.mean_exit_stage,
                     "delta": p.delta,
+                    "num_requests": p.num_requests,
+                    "overhead_ops": p.overhead_ops,
+                    "drift_score": p.drift_score,
+                    "regime": p.regime,
                 }
                 for p in self.phases
             ],
@@ -427,12 +554,28 @@ def budgeted_drift_replay(
     delta: float = 0.6,
     target_fraction: float = 0.75,
     recalibrate_every: int | None = None,
+    adaptive: bool = False,
+    table_deltas: Sequence[float] | None = None,
 ) -> DriftReplayResult:
     """The standard budgeted replay recipe (one definition for the CLI, the
     Robustness experiment and the drift bench): soft target at
     ``target_fraction`` of the baseline cost, hard cap halfway between the
     two deepest exits (no cap on single-exit cascades), ``scenario``
-    realized over ``base`` and streamed under ``schedule``."""
+    realized over ``base`` and streamed under ``schedule``.
+
+    With ``adaptive=True`` the same recipe swaps its drift response: an
+    :class:`~repro.serving.adaptive.OperatingTable` is built offline over
+    the clean and shifted regimes (``table_deltas`` grid), and the engine
+    retargets from it when the drift detector fires, *instead of* the
+    scheduled ``recalibrate_every`` replays -- the head-to-head the
+    adaptive bench suite measures.  The table's (offline, amortizable)
+    build cost is recorded in
+    :attr:`DriftReplayResult.offline_table_ops`.
+    """
+    from dataclasses import replace
+
+    from repro.serving.adaptive import DEFAULT_TABLE_GRID, OperatingTable
+
     costs = cdln.path_cost_table()
     totals = costs.exit_totals()
     target = target_fraction * float(costs.baseline_cost.total)
@@ -445,14 +588,32 @@ def budgeted_drift_replay(
         num_batches=num_batches,
         rng=rng,
     )
-    return replay_drift(
+    table = None
+    offline_ops = 0.0
+    if adaptive:
+        regimes = [scenario] if scenario.is_clean else [
+            Scenario(name="clean", seed=scenario.seed),
+            scenario,
+        ]
+        table = OperatingTable.build(
+            cdln,
+            base,
+            regimes,
+            deltas=tuple(table_deltas or DEFAULT_TABLE_GRID),
+            reference_delta=delta,
+        )
+        # One full scoring pass per regime over the base pool.
+        offline_ops = len(regimes) * len(base) * float(totals[-1])
+    result = replay_drift(
         cdln,
         stream,
         target_mean_ops=target,
         hard_ops_budget=hard,
         delta=delta,
-        recalibrate_every=recalibrate_every,
+        recalibrate_every=None if adaptive else recalibrate_every,
+        operating_table=table,
     )
+    return replace(result, offline_table_ops=offline_ops) if adaptive else result
 
 
 def replay_drift(
@@ -464,6 +625,8 @@ def replay_drift(
     delta: float = 0.6,
     calibration_images: np.ndarray | None = None,
     recalibrate_every: int | None = None,
+    operating_table=None,
+    detector=None,
 ) -> DriftReplayResult:
     """Serve a drift stream through a real engine under a budget controller.
 
@@ -471,21 +634,48 @@ def replay_drift(
     ----------
     target_mean_ops / hard_ops_budget:
         Passed to a :class:`~repro.serving.controller.DeltaController`;
-        with neither, the engine serves at the fixed ``delta``.
+        with neither, the engine serves at the fixed ``delta``.  Units:
+        scalar OPS per request.
     calibration_images:
         Pre-shift workload used for the initial calibration (defaults to
-        the stream's clean pool).
+        the stream's clean pool).  Only used without an operating table
+        -- the adaptive path starts from the table's reference regime
+        instead and pays no online calibration at all.
     recalibrate_every:
         Recalibrate on the most recent batches every N batches, modelling
         an operator refreshing the controller as live traffic drifts; the
-        feedback loop (``observe``) runs regardless.
+        feedback loop (``observe``) runs regardless.  Every pass is
+        charged to the next phase's ``overhead_ops`` (one full backbone
+        scoring pass per calibration image).
+    operating_table:
+        Optional :class:`~repro.serving.adaptive.OperatingTable`: install
+        an adaptive policy that detects drift live and retargets δ from
+        the table (requires ``target_mean_ops``).
+    detector:
+        Optional preconfigured
+        :class:`~repro.serving.adaptive.DriftDetector` for the adaptive
+        policy (default: derived from the table's reference regime).
     """
+    from repro.serving.adaptive import AdaptiveDeltaPolicy
     from repro.serving.batching import MicroBatchPolicy
     from repro.serving.controller import DeltaController
     from repro.serving.engine import InferenceEngine
 
     if recalibrate_every is not None:
         check_positive_int(recalibrate_every, "recalibrate_every")
+    if detector is not None and operating_table is None:
+        raise ConfigurationError(
+            "a drift detector is only used together with an operating_table"
+        )
+    if operating_table is not None and target_mean_ops is None:
+        raise ConfigurationError(
+            "adaptive replay needs target_mean_ops (the operating table "
+            "is a mean-OPS curve)"
+        )
+    # Calibration cost accounting: scoring one image for calibration runs
+    # the full backbone plus every stage head -- the deepest exit's path
+    # cost.  Charged to the phase the (re)calibration happened before.
+    full_pass_ops = float(cdln.path_cost_table().exit_totals()[-1])
     controller = None
     if target_mean_ops is not None or hard_ops_budget is not None:
         controller = DeltaController(
@@ -493,19 +683,29 @@ def replay_drift(
             hard_ops_budget=hard_ops_budget,
             delta=delta,
         )
+    adaptive = None
+    if operating_table is not None:
+        adaptive = AdaptiveDeltaPolicy(operating_table, detector)
     engine = InferenceEngine(
         model=cdln,
         controller=controller,
         delta=None if controller is not None else delta,
         policy=MicroBatchPolicy(max_batch_size=stream.batch_size),
+        adaptive=adaptive,
     )
-    if controller is not None and controller.target_mean_ops is not None:
+    overhead_pending = 0.0
+    if (
+        adaptive is None
+        and controller is not None
+        and controller.target_mean_ops is not None
+    ):
         sample = (
             calibration_images
             if calibration_images is not None
             else stream.clean.images
         )
         engine.calibrate(sample)
+        overhead_pending += sample.shape[0] * full_pass_ops
     phases: list[DriftPhaseStats] = []
     recent: list[np.ndarray] = []
     recalibrations = 0
@@ -520,7 +720,9 @@ def replay_drift(
             and batch.index % recalibrate_every == 0
             and recent
         ):
-            engine.calibrate(np.concatenate(recent))
+            sample = np.concatenate(recent)
+            engine.calibrate(sample)
+            overhead_pending += sample.shape[0] * full_pass_ops
             recalibrations += 1
         responses = engine.classify_many(batch.images)
         ops = np.array([r.ops for r in responses])
@@ -538,10 +740,21 @@ def replay_drift(
                 max_ops=float(ops.max()),
                 mean_exit_stage=float(exits.mean()),
                 delta=float(responses[0].delta),
+                num_requests=len(responses),
+                overhead_ops=overhead_pending,
+                drift_score=(
+                    adaptive.detector.last_score if adaptive is not None else None
+                ),
+                regime=(
+                    adaptive.current_regime if adaptive is not None else None
+                ),
             )
         )
-        recent.append(batch.images)
+        overhead_pending = 0.0
         if recalibrate_every is not None:
+            # Only the scheduled path reads the recent-batch window; the
+            # adaptive/fixed paths must not hold the whole stream alive.
+            recent.append(batch.images)
             recent = recent[-recalibrate_every:]
     return DriftReplayResult(
         phases=tuple(phases),
@@ -553,4 +766,5 @@ def replay_drift(
             controller.delta if controller is not None else float(delta)
         ),
         recalibrations=recalibrations,
+        retargets=len(adaptive.events) if adaptive is not None else 0,
     )

@@ -5,8 +5,11 @@ service: a :class:`ModelRegistry` of named/versioned models, an
 :class:`InferenceEngine` that coalesces single requests into dynamic
 micro-batches of stage-wise cascade execution, a budget-aware
 :class:`DeltaController` that adapts the runtime threshold to an ops
-budget, and :class:`ServingMetrics` tracking throughput, latency
-percentiles, exit-stage histograms and energy.
+budget, :class:`ServingMetrics` tracking throughput, latency
+percentiles, exit-stage histograms and energy, and the adaptive loop
+(:class:`DriftDetector` + :class:`OperatingTable` +
+:class:`AdaptiveDeltaPolicy`) that detects distribution drift from live
+signals and retargets δ from precomputed per-regime operating curves.
 
 Attribute access is lazy (PEP 562): :mod:`repro.cdl.network` imports the
 shared executor from :mod:`repro.serving.cascade`, so eagerly importing
@@ -30,11 +33,23 @@ _EXPORTS = {
     "DeltaController": "repro.serving.controller",
     "simulate_exit_stages": "repro.serving.controller",
     "MetricsSnapshot": "repro.serving.metrics",
+    "STAGE0_QUANTILE_GRID": "repro.serving.metrics",
     "ServingMetrics": "repro.serving.metrics",
     "AsyncInferenceEngine": "repro.serving.engine",
     "InferenceEngine": "repro.serving.engine",
     "InferenceResponse": "repro.serving.engine",
     "Ticket": "repro.serving.engine",
+    "AdaptiveDeltaPolicy": "repro.serving.adaptive",
+    "DriftDetector": "repro.serving.adaptive",
+    "DriftEvent": "repro.serving.adaptive",
+    "OperatingPoint": "repro.serving.adaptive",
+    "OperatingTable": "repro.serving.adaptive",
+    "RegimeEntry": "repro.serving.adaptive",
+    "RegimeSignature": "repro.serving.adaptive",
+    "RetargetEvent": "repro.serving.adaptive",
+    "fold_exit_fractions": "repro.serving.adaptive",
+    "population_stability_index": "repro.serving.adaptive",
+    "signature_distance": "repro.serving.adaptive",
 }
 
 __all__ = sorted(_EXPORTS)

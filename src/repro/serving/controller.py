@@ -70,6 +70,16 @@ def simulate_exit_stages(
     )
 
 
+def nearest_delta_index(deltas, delta: float) -> int:
+    """Index of the grid delta nearest to ``delta``.
+
+    The single nearest-point semantic shared by the controller's
+    calibration curve and the operating table's regime curves -- the two
+    interconvert, so their lookups must never diverge.
+    """
+    return int(np.abs(np.asarray(deltas, dtype=np.float64) - delta).argmin())
+
+
 @dataclass(frozen=True)
 class CalibrationPoint:
     """One simulated operating point of the delta -> cost curve."""
@@ -92,8 +102,7 @@ class DeltaCalibration:
 
     def point_for_delta(self, delta: float) -> CalibrationPoint:
         """The calibrated point whose delta is nearest to ``delta``."""
-        deltas = np.array([p.delta for p in self.points])
-        return self.points[int(np.abs(deltas - delta).argmin())]
+        return self.points[nearest_delta_index([p.delta for p in self.points], delta)]
 
     def best_for_budget(self, target_mean_ops: float) -> CalibrationPoint:
         """The point whose predicted mean ops is closest to the target.
@@ -196,16 +205,23 @@ class DeltaController:
         """
         if self.hard_ops_budget is None:
             return None
-        totals = costs.exit_totals()
-        affordable = np.nonzero(totals <= self.hard_ops_budget)[0]
-        if affordable.size == 0:
+        cap = self._cap_for_totals(costs.exit_totals())
+        if cap == -1:
             raise ConfigurationError(
                 f"hard_ops_budget={self.hard_ops_budget:g} is below the "
-                f"cheapest exit ({totals[0]:g} ops at stage "
+                f"cheapest exit ({costs.exit_totals()[0]:g} ops at stage "
                 f"{costs.stage_names[0]!r}); no cascade depth can satisfy it"
             )
+        return cap
+
+    def _cap_for_totals(self, totals: np.ndarray) -> int | None:
+        """Depth cap against raw exit totals (-1: budget unsatisfiable)."""
+        totals = np.asarray(totals, dtype=np.float64)
+        affordable = np.nonzero(totals <= self.hard_ops_budget)[0]
+        if affordable.size == 0:
+            return -1
         deepest = int(affordable.max())
-        return None if deepest == costs.num_stages - 1 else deepest
+        return None if deepest == totals.shape[0] - 1 else deepest
 
     # -- calibration ------------------------------------------------------------
     def calibrate(self, cdln, images: np.ndarray) -> DeltaCalibration:
@@ -248,6 +264,66 @@ class DeltaController:
             self._calibration.point_for_delta(self._delta).mean_ops,
         )
         return self._calibration
+
+    # -- retargeting ------------------------------------------------------------
+    def retarget(self, table, regime: str) -> CalibrationPoint:
+        """Jump to a precomputed regime's operating curve (no backbone work).
+
+        Installs the :class:`~repro.serving.adaptive.OperatingTable`
+        regime's δ → mean-OPS curve as this controller's calibration,
+        resets the feedback ratio (the old regime's observed/predicted
+        history is stale by definition), and repicks δ for the soft
+        target.  This is the adaptive answer to drift: where
+        :meth:`calibrate` pays a full scoring pass over a live sample,
+        ``retarget`` is a pure table lookup.
+
+        When this controller also holds a hard budget, the installed
+        curve is folded at the implied depth cap (exactly -- capped exit
+        = ``min(exit, cap)``) using the table's recorded exit totals, so
+        the δ → mean-OPS prediction matches what capped serving will
+        actually pay, just as :meth:`calibrate` folds the cap into its
+        simulation.  Tables saved before exit totals were recorded fall
+        back to the uncapped curve.
+
+        Parameters
+        ----------
+        table:
+            An :class:`~repro.serving.adaptive.OperatingTable` built for
+            the served model.
+        regime:
+            Name of the table regime to adopt.
+
+        Returns the calibrated point at the chosen δ.  Requires a soft
+        target (with only a hard budget there is no mean-OPS objective to
+        retarget toward).
+        """
+        if self.target_mean_ops is None:
+            raise ConfigurationError(
+                "retarget needs a soft target (target_mean_ops); a hard "
+                "budget alone is enforced structurally and never moves"
+            )
+        totals = np.asarray(getattr(table, "exit_totals", ()), dtype=np.float64)
+        cap = None
+        if self.hard_ops_budget is not None and totals.size:
+            cap = self._cap_for_totals(totals)
+            if cap == -1:
+                raise ConfigurationError(
+                    f"hard_ops_budget={self.hard_ops_budget:g} is below the "
+                    f"cheapest exit ({totals[0]:g} ops) of the table's model"
+                )
+        self._calibration = table.entry(regime).to_calibration(
+            max_stage=cap, exit_totals=totals if totals.size else None
+        )
+        self._cost_ratio = 1.0
+        self._repick()
+        point = self._calibration.point_for_delta(self._delta)
+        _log.info(
+            "retargeted to regime %r: delta=%.3f predicted %.3g mean ops",
+            regime,
+            self._delta,
+            point.mean_ops,
+        )
+        return point
 
     # -- feedback ---------------------------------------------------------------
     def observe(self, mean_ops: float, batch_size: int) -> None:

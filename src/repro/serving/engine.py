@@ -50,13 +50,19 @@ _MIN_LAZY_CALIBRATION = 16
 
 @dataclass(frozen=True)
 class InferenceResponse:
-    """One request's answer plus its exact serving cost."""
+    """One request's answer plus its exact serving cost.
+
+    Units: ``ops`` in scalar multiply-accumulates, ``energy_pj`` in
+    picojoules, ``latency_s`` in seconds (queue-to-answer), ``delta``
+    and ``confidence`` in [0, 1].
+    """
 
     request_id: int
     label: int
     exit_stage: int
     exit_stage_name: str
     confidence: float
+    #: Runtime threshold the request was served under.
     delta: float
     #: Scalar OPS this request paid (exit-stage cost from the PathCostTable).
     ops: float
@@ -123,6 +129,13 @@ class InferenceEngine:
     delta:
         Fixed runtime threshold when no controller is installed (defaults
         to the model's activation-module delta).
+    adaptive:
+        Optional :class:`~repro.serving.adaptive.AdaptiveDeltaPolicy`.
+        Requires a ``controller`` with a soft target; the engine primes
+        the policy (initial regime retarget -- no lazy calibration pass
+        needed) and feeds its drift detector after every dispatched
+        micro-batch, retargeting δ from the operating table when the
+        detector fires.
     """
 
     def __init__(
@@ -134,11 +147,19 @@ class InferenceEngine:
         policy: MicroBatchPolicy | None = None,
         controller: DeltaController | None = None,
         delta: float | None = None,
+        adaptive=None,
     ) -> None:
         if (model is None) == (registry is None):
             raise ConfigurationError(
                 "pass exactly one of `model` (a fitted CDLN / TrainedCdl) "
                 "or `registry`"
+            )
+        if adaptive is not None and (
+            controller is None or controller.target_mean_ops is None
+        ):
+            raise ConfigurationError(
+                "adaptive serving needs a DeltaController with a soft "
+                "target_mean_ops (the operating table is a mean-OPS curve)"
             )
         if registry is None:
             registry = ModelRegistry()
@@ -147,6 +168,7 @@ class InferenceEngine:
         self.policy = policy or MicroBatchPolicy()
         self.controller = controller
         self.delta = delta
+        self.adaptive = adaptive
         self._entry: ModelEntry = registry.resolve(model_spec)
         self._entry.warm()
         self.metrics = ServingMetrics(self._entry.cdln.stage_names)
@@ -154,6 +176,8 @@ class InferenceEngine:
         self._ids = itertools.count()
         self._lock = threading.Lock()
         self._warned_uncalibrated = False
+        if adaptive is not None:
+            adaptive.prime(self)
 
     # -- model management -------------------------------------------------------
     @property
@@ -165,13 +189,26 @@ class InferenceEngine:
 
         Metrics keep accumulating across the swap -- stage counts only
         carry over when the stage layout matches; otherwise they reset.
+        With an adaptive policy installed, the new entry must carry its
+        own operating table (curves and drift signatures belong to one
+        model); the policy is rebound and re-primed on it, so the
+        detector never scores the new model's exits against the old
+        model's reference.
         """
         entry = self.registry.resolve(model_spec)
+        if self.adaptive is not None and entry.operating_table is None:
+            raise ConfigurationError(
+                f"adaptive engine cannot swap to {entry.spec}: the entry has "
+                "no operating table (attach one at register time)"
+            )
         entry.warm()
         with self._lock:
             if entry.cdln.stage_names != self._entry.cdln.stage_names:
                 self.metrics = ServingMetrics(entry.cdln.stage_names)
             self._entry = entry
+        if self.adaptive is not None:
+            self.adaptive.rebind(entry.operating_table)
+            self.adaptive.prime(self)
         _log.info("engine now serving %s", entry.spec)
         return entry
 
@@ -273,7 +310,18 @@ class InferenceEngine:
         else:
             delta = self.delta
             max_stage = None
-        result = execute_cascade(entry.cdln, images, delta, max_stage=max_stage)
+        # The adaptive drift signal needs stage-0 confidences for *every*
+        # request; stage records hold views, so recording them is cheap.
+        record_stages = self.adaptive is not None
+        result = execute_cascade(
+            entry.cdln, images, delta, max_stage=max_stage,
+            record_stages=record_stages,
+        )
+        # Stage 0 sees the full batch (nothing has exited yet), so its
+        # record covers every request in submission order.
+        stage0_confidences = (
+            result.stage_records[0].confidences if record_stages else None
+        )
         ops = entry.exit_ops[result.exit_stages]
         energies = entry.exit_energies_pj[result.exit_stages]
         stage_names = entry.cdln.stage_names
@@ -306,9 +354,14 @@ class InferenceEngine:
             exit_stages=result.exit_stages,
             ops=ops,
             energies_pj=energies,
+            stage0_confidences=stage0_confidences,
         )
         if controller is not None:
             controller.observe(float(ops.mean()), len(batch))
+        if self.adaptive is not None:
+            self.adaptive.after_batch(
+                self, result.exit_stages, stage0_confidences
+            )
 
     def __repr__(self) -> str:
         return (

@@ -1,11 +1,13 @@
 """Per-request serving telemetry.
 
 :class:`ServingMetrics` is the engine's flight recorder: every dispatched
-micro-batch reports its size, per-request queue-to-answer latencies, exit
-stages, and op/energy costs.  :meth:`ServingMetrics.snapshot` folds the
-window into the numbers an operator watches -- throughput, p50/p95
-latency, the exit-stage histogram (the serving-side view of Fig. 8's
-"most inputs stop early"), and cumulative energy.
+micro-batch reports its size, per-request queue-to-answer latencies
+(seconds), exit stages, and op/energy costs (scalar OPS and pJ).
+:meth:`ServingMetrics.snapshot` folds the window into the numbers an
+operator watches -- throughput, p50/p95 latency, the exit-stage histogram
+(the serving-side view of Fig. 8's "most inputs stop early"), cumulative
+energy, and the stage-0 confidence quantiles that the adaptive loop
+(:mod:`repro.serving.adaptive`) reads as its drift signal.
 
 All recording goes through one lock so the synchronous engine, the async
 worker thread, and any monitoring thread can share an instance.
@@ -24,10 +26,22 @@ from repro.errors import ConfigurationError
 from repro.utils.tables import AsciiTable
 from repro.utils.validation import check_positive_int
 
+#: Quantile levels tracked for the stage-0 confidence distribution.  The
+#: single source of truth shared with :mod:`repro.serving.adaptive` --
+#: regime signatures and live snapshots must bin identically to compare.
+STAGE0_QUANTILE_GRID = (0.1, 0.25, 0.5, 0.75, 0.9)
+
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
-    """A consistent point-in-time view of the serving counters."""
+    """A consistent point-in-time view of the serving counters.
+
+    Units: latencies in seconds, ``mean_ops`` in scalar OPS
+    (multiply-accumulates) per request, energy in picojoules.
+    ``stage0_quantiles`` holds the recent-window stage-0 confidence
+    quantiles at :data:`STAGE0_QUANTILE_GRID` levels, or ``None`` when the
+    engine is not recording them (no adaptive loop installed).
+    """
 
     requests: int
     batches: int
@@ -42,8 +56,10 @@ class MetricsSnapshot:
     mean_ops: float
     total_energy_pj: float
     mean_energy_pj: float
+    stage0_quantiles: np.ndarray | None = None
 
     def exit_stage_fractions(self) -> np.ndarray:
+        """Exit-stage histogram normalized to fractions (sums to 1)."""
         total = self.exit_stage_counts.sum()
         return self.exit_stage_counts / max(total, 1)
 
@@ -61,6 +77,10 @@ class MetricsSnapshot:
         table.add_row(["mean OPS / request", round(self.mean_ops, 1)])
         table.add_row(["mean energy / request (pJ)", round(self.mean_energy_pj, 1)])
         table.add_row(["total energy (uJ)", round(self.total_energy_pj / 1e6, 3)])
+        if self.stage0_quantiles is not None:
+            levels = "/".join(f"p{int(q * 100)}" for q in STAGE0_QUANTILE_GRID)
+            values = "/".join(f"{v:.2f}" for v in self.stage0_quantiles)
+            table.add_row([f"stage-0 confidence ({levels})", values])
         return table.render()
 
 
@@ -81,6 +101,7 @@ class ServingMetrics:
         self.stage_names = tuple(stage_names)
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._stage0_conf: deque[float] = deque(maxlen=latency_window)
         self._reset_locked()
 
     def _reset_locked(self) -> None:
@@ -90,6 +111,7 @@ class ServingMetrics:
         self._total_ops = 0.0
         self._total_energy_pj = 0.0
         self._latencies.clear()
+        self._stage0_conf.clear()
         self._started_at: float | None = None
         self._last_at: float | None = None
 
@@ -104,8 +126,27 @@ class ServingMetrics:
         exit_stages: np.ndarray,
         ops: np.ndarray,
         energies_pj: np.ndarray,
+        stage0_confidences: np.ndarray | None = None,
     ) -> None:
-        """Fold one dispatched micro-batch into the counters."""
+        """Fold one dispatched micro-batch into the counters.
+
+        Parameters
+        ----------
+        latencies_s:
+            Queue-to-answer latency per request, seconds, ``(B,)``.
+        exit_stages:
+            Exit stage index per request, ``(B,)``.
+        ops:
+            Scalar OPS each request paid (exit-path cost), ``(B,)``.
+        energies_pj:
+            Energy each request paid under the technology model, pJ,
+            ``(B,)``.
+        stage0_confidences:
+            Optional stage-0 confidence per request, ``(B,)`` -- recorded
+            into the rolling window behind
+            :attr:`MetricsSnapshot.stage0_quantiles` (the adaptive drift
+            signal); pass ``None`` when the engine is not collecting them.
+        """
         now = perf_counter()
         size = int(exit_stages.shape[0])
         counts = np.bincount(exit_stages, minlength=len(self.stage_names))
@@ -119,10 +160,14 @@ class ServingMetrics:
             self._total_ops += float(ops.sum())
             self._total_energy_pj += float(energies_pj.sum())
             self._latencies.extend(float(v) for v in latencies_s)
+            if stage0_confidences is not None:
+                self._stage0_conf.extend(float(v) for v in stage0_confidences)
 
     def snapshot(self) -> MetricsSnapshot:
+        """Fold the counters into one consistent :class:`MetricsSnapshot`."""
         with self._lock:
             latencies = np.array(self._latencies, dtype=np.float64)
+            stage0 = np.array(self._stage0_conf, dtype=np.float64)
             elapsed = (
                 (self._last_at - self._started_at)
                 if self._started_at is not None and self._last_at is not None
@@ -148,6 +193,11 @@ class ServingMetrics:
             mean_ops=total_ops / max(requests, 1),
             total_energy_pj=total_energy,
             mean_energy_pj=total_energy / max(requests, 1),
+            stage0_quantiles=(
+                np.quantile(stage0, STAGE0_QUANTILE_GRID)
+                if stage0.size
+                else None
+            ),
         )
 
     def __repr__(self) -> str:

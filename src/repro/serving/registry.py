@@ -28,12 +28,20 @@ _log = get_logger("serving.registry")
 
 @dataclass
 class ModelEntry:
-    """One registered (name, version) pair plus its warm serving artifacts."""
+    """One registered (name, version) pair plus its warm serving artifacts.
+
+    ``operating_table`` optionally carries the model's precomputed
+    :class:`~repro.serving.adaptive.OperatingTable` (per-regime δ →
+    accuracy / mean-OPS / energy curves), attached at registration or via
+    :meth:`attach_operating_table` -- the artifact adaptive serving
+    retargets from.
+    """
 
     name: str
     version: int
     cdln: "object"  # a fitted repro.cdl.network.CDLN
     technology: TechnologyModel = TECHNOLOGY_45NM
+    operating_table: "object | None" = None
     _cost_table: PathCostTable | None = field(default=None, repr=False)
     _exit_ops: np.ndarray | None = field(default=None, repr=False)
     _exit_energies_pj: np.ndarray | None = field(default=None, repr=False)
@@ -85,6 +93,30 @@ class ModelEntry:
         self.warm()
         return self._exit_energies_pj
 
+    def attach_operating_table(self, table) -> "ModelEntry":
+        """Attach an operating table (an
+        :class:`~repro.serving.adaptive.OperatingTable` or a path to one
+        serialized with ``save()``).  Validates that the table was built
+        for a cascade with this entry's stage layout.
+        """
+        self.operating_table = _coerce_operating_table(table, self.cdln, self.spec)
+        _log.info("attached operating table to %s: %r", self.spec, self.operating_table)
+        return self
+
+
+def _coerce_operating_table(table, cdln, spec: str):
+    """Load (if a path) and validate a table against a model's stage layout."""
+    from repro.serving.adaptive import OperatingTable
+
+    if not isinstance(table, OperatingTable):
+        table = OperatingTable.load(table)
+    if table.stage_names and table.stage_names != tuple(cdln.stage_names):
+        raise ConfigurationError(
+            f"operating table was built for stages {table.stage_names}, "
+            f"but model {spec} has {tuple(cdln.stage_names)}"
+        )
+    return table
+
 
 class ModelRegistry:
     """Thread-safe store of fitted models keyed by ``(name, version)``.
@@ -100,8 +132,31 @@ class ModelRegistry:
         self._lock = threading.Lock()
 
     def register(
-        self, name: str, model, *, version: int | None = None, warm: bool = True
+        self,
+        name: str,
+        model,
+        *,
+        version: int | None = None,
+        warm: bool = True,
+        operating_table=None,
     ) -> ModelEntry:
+        """Register a fitted model under ``name`` (version auto-increments).
+
+        Parameters
+        ----------
+        model:
+            A fitted :class:`~repro.cdl.network.CDLN` or a
+            :class:`~repro.cdl.training.TrainedCdl` bundle.
+        version:
+            Explicit positive version; default is latest + 1 per name.
+        warm:
+            Precompute the entry's cost tables and prime the backbone now
+            (first-request latency) instead of lazily.
+        operating_table:
+            Optional :class:`~repro.serving.adaptive.OperatingTable` (or
+            a path to a saved one) attached to the entry for adaptive
+            serving.
+        """
         if not name or ":" in name:
             raise ConfigurationError(
                 f"model name must be non-empty and contain no ':', got {name!r}"
@@ -111,6 +166,12 @@ class ModelRegistry:
             raise NotFittedError(
                 f"cannot register unfitted model {name!r}; "
                 "call fit_linear_classifiers() first"
+            )
+        # Load/validate the table *before* committing the entry, so a bad
+        # table cannot leave a half-registered (tableless) model behind.
+        if operating_table is not None:
+            operating_table = _coerce_operating_table(
+                operating_table, cdln, f"{name}:{version or '?'}"
             )
         with self._lock:
             if version is None:
@@ -122,7 +183,11 @@ class ModelRegistry:
                         f"model {name}:{version} is already registered"
                     )
             entry = ModelEntry(
-                name=name, version=version, cdln=cdln, technology=self.technology
+                name=name,
+                version=version,
+                cdln=cdln,
+                technology=self.technology,
+                operating_table=operating_table,
             )
             self._entries[(name, version)] = entry
         if warm:

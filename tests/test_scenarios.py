@@ -380,6 +380,52 @@ class TestCli:
         assert "drift" not in payload
         assert payload["robustness"]["results"]
 
+    def test_tables_writes_operating_table(self, capsys, tmp_path):
+        from repro.serving.adaptive import OperatingTable
+
+        out_path = tmp_path / "model.optable.json"
+        code = cli_main(
+            [
+                "tables",
+                "--tier", "tiny",
+                "--seed", "7",
+                "--corruptions", "gaussian_noise",
+                "--severities", "1.0",
+                "--deltas", "0.3", "0.6", "0.9",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Operating table" in out
+        table = OperatingTable.load(out_path)
+        assert set(table.regime_names) == {"clean", "gaussian_noise@1"}
+        assert [p.delta for p in table.entry("clean").points] == [0.3, 0.6, 0.9]
+
+    def test_run_adaptive_drift(self, capsys, tmp_path):
+        out_path = tmp_path / "report.json"
+        code = cli_main(
+            [
+                "run",
+                "--tier", "tiny",
+                "--seed", "7",
+                "--corruptions", "gaussian_noise",
+                "--severities", "1.0",
+                "--drift", "sudden",
+                "--drift-batches", "9",
+                "--drift-batch-size", "32",
+                "--adaptive",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive table retargeting" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["drift"]["budget_violations"] == 0
+        assert payload["drift"]["recalibrations"] == 0
+        assert payload["drift"]["retargets"] >= 1
+
     def test_run_tiny_restricted(self, capsys, tmp_path):
         out_path = tmp_path / "report.json"
         code = cli_main(
