@@ -1,0 +1,21 @@
+"""Observability bench: disabled-path overhead + exact span reconciliation.
+
+Two claims are measured and asserted (bodies and checks in
+``repro.bench.suites.obs``):
+
+* **Disabled telemetry is free**: an engine left on the default
+  ``NULL_OBSERVER`` serves within 2 % of a fully-traced engine under an
+  alternating within-run A/B (the disabled path's work is a strict subset
+  of the traced path's, so this caps the hooks' cost).
+* **Spans reconcile exactly**: per-span OPS summed the way
+  ``ServingMetrics`` sums them reproduce ``MetricsSnapshot.mean_ops`` bit
+  for bit (``==``, not approx).
+"""
+
+
+def test_disabled_observer_overhead(run_spec):
+    run_spec("obs_overhead")
+
+
+def test_span_ops_reconcile_exactly(run_spec):
+    run_spec("obs_reconcile")

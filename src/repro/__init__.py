@@ -61,6 +61,7 @@ from repro.errors import (
     ShapeError,
 )
 from repro.nn import Network, Trainer
+from repro.obs import NULL_OBSERVER, Observer
 from repro.ops import OpCount, network_total_ops
 from repro.serving import (
     AsyncInferenceEngine,
@@ -88,8 +89,10 @@ __all__ = [
     "LinearClassifier",
     "MicroBatchPolicy",
     "ModelRegistry",
+    "NULL_OBSERVER",
     "Network",
     "NotFittedError",
+    "Observer",
     "OpCount",
     "PAPER",
     "ReproError",

@@ -11,6 +11,7 @@ from repro.bench.suites import (
     adaptive,
     figures,
     hotpath,
+    obs,
     scenarios,
     serving,
     substrate,
@@ -21,6 +22,7 @@ __all__ = [
     "adaptive",
     "figures",
     "hotpath",
+    "obs",
     "scenarios",
     "serving",
     "substrate",

@@ -1,0 +1,118 @@
+"""Structured lifecycle event log.
+
+Where spans follow *requests*, events follow the *control plane*: model
+warm/evict, controller recalibration, drift detection and recovery,
+operating-table retargets, hard-cap trips.  :class:`EventLog` keeps a
+bounded in-memory ring (so a long-lived service can always answer "what
+happened recently") and optionally mirrors every event to a JSON-lines
+file that survives the process.
+
+Each event is a flat dict: ``kind`` (the event type), ``time_unix``
+(wall-clock seconds), plus whatever fields the emitter attached.  The
+file side shares the span trace's conventions -- one JSON object per
+line, schema tag in a header record -- so the same tail/filter tooling
+(:mod:`repro.obs.cli`) reads both.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.errors import SerializationError
+from repro.utils.validation import check_positive_int
+
+#: Schema tag written into a persisted event file's header record.
+EVENTS_SCHEMA = "repro.events/v1"
+
+
+class EventLog:
+    """Bounded in-memory event ring with an optional JSONL mirror.
+
+    Parameters
+    ----------
+    path:
+        When given, every event is also appended to this file (created
+        fresh with an :data:`EVENTS_SCHEMA` header record).
+    capacity:
+        Ring size; the in-memory view keeps only the newest ``capacity``
+        events (the file, when enabled, keeps everything).
+    """
+
+    def __init__(self, path: str | Path | None = None, *,
+                 capacity: int = 1024) -> None:
+        check_positive_int(capacity, "capacity")
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._emitted = 0
+        self.path = Path(path) if path is not None else None
+        self._file: IO[str] | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w")
+            header = {
+                "kind": "header",
+                "schema": EVENTS_SCHEMA,
+                "created_unix": time.time(),
+            }
+            self._file.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def emit(self, kind: str, **fields: object) -> dict:
+        """Record one event; returns the stored dict."""
+        event = {"kind": str(kind), "time_unix": time.time(), **fields}
+        line = (
+            json.dumps(event, sort_keys=True, default=str)
+            if self._file is not None
+            else None
+        )
+        with self._lock:
+            self._ring.append(event)
+            self._emitted += 1
+            if self._file is not None:
+                if line is None:  # pragma: no cover - guarded above
+                    raise SerializationError("event line was not serialized")
+                self._file.write(line + "\n")
+        return event
+
+    def tail(self, n: int | None = None) -> list[dict]:
+        """The newest ``n`` events, oldest first (all retained when None)."""
+        with self._lock:
+            events = list(self._ring)
+        return events if n is None else events[-n:]
+
+    def kinds(self) -> tuple[str, ...]:
+        """Distinct event kinds currently retained, sorted."""
+        with self._lock:
+            return tuple(sorted({e["kind"] for e in self._ring}))
+
+    @property
+    def emitted(self) -> int:
+        """Events emitted over the log's lifetime (ring may hold fewer)."""
+        with self._lock:
+            return self._emitted
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.tail())
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __repr__(self) -> str:
+        where = f", path={str(self.path)!r}" if self.path else ""
+        return f"EventLog({len(self)} retained, {self.emitted} emitted{where})"

@@ -1,0 +1,410 @@
+"""In-process metrics: labeled counters, gauges and histograms + exporters.
+
+A :class:`MetricsRegistry` is the single mutable store the serving stack
+writes into: counters for monotonically growing totals
+(``requests_total{exit_stage=...}``), gauges for point-in-time values
+(``queue_depth``, ``drift_score``), histograms for distributions
+(``request_latency_seconds``).  Families are get-or-create --
+re-requesting a name returns the existing family, and a kind or
+label-set mismatch is a loud :class:`~repro.errors.ConfigurationError`
+rather than a silently forked time series.
+
+Two exporters share one consistent snapshot: :meth:`MetricsRegistry.
+render_prometheus` emits the Prometheus text exposition format (``# HELP``
+/ ``# TYPE`` headers, ``_bucket``/``_sum``/``_count`` histogram series)
+and :meth:`MetricsRegistry.to_json` a schema-versioned dict for
+machine consumers.  :func:`parse_prometheus` reads the text format back
+-- the round-trip is what the test suite and the reconciliation bench
+lean on.
+
+All mutation goes through one registry lock, so the engine worker
+thread, the adaptive loop, and a scraping thread can share an instance.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: JSON schema tag written by :meth:`MetricsRegistry.to_json`.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+#: Default histogram bucket upper bounds (seconds-flavoured, but any unit
+#: works; ``+Inf`` is implicit).
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str, what: str) -> str:
+    pattern = _NAME_RE if what == "metric" else _LABEL_RE
+    if not pattern.match(name or ""):
+        raise ConfigurationError(f"invalid {what} name {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labelnames: tuple[str, ...], values: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(zip(labelnames, values)) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+class _MetricFamily:
+    """Shared bookkeeping of one named metric and its labeled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...],
+                 lock: threading.Lock) -> None:
+        self.name = _check_name(name, "metric")
+        self.help = help
+        self.labelnames = tuple(_check_name(n, "label") for n in labelnames)
+        self._lock = lock
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def samples(self) -> list[tuple[tuple[str, ...], object]]:
+        """``(label values, child state)`` pairs in insertion order."""
+        with self._lock:
+            return list(self._children.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"labels={self.labelnames}, series={len(self._children)})"
+        )
+
+
+class Counter(_MetricFamily):
+    """A monotonically increasing total (per label set)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._children.get(key, 0.0))
+
+
+class Gauge(_MetricFamily):
+    """A point-in-time value that can move both ways (per label set)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + float(amount)
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._children.get(key, 0.0))
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.bucket_counts = [0] * num_buckets  # per-bucket, non-cumulative
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_MetricFamily):
+    """A bucketed distribution (per label set).
+
+    ``buckets`` are upper bounds in increasing order; the implicit
+    ``+Inf`` bucket catches the tail.  Exposition renders *cumulative*
+    ``_bucket{le=...}`` series plus ``_sum`` / ``_count``, the Prometheus
+    convention.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...],
+                 lock: threading.Lock,
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, labelnames, lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for b, a in zip(bounds[1:], bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} needs strictly increasing buckets, "
+                f"got {buckets}"
+            )
+        self.buckets = bounds
+
+    def _state(self, labels: Mapping[str, object]) -> _HistogramState:
+        key = self._key(labels)
+        state = self._children.get(key)
+        if state is None:
+            state = self._children[key] = _HistogramState(len(self.buckets) + 1)
+        return state
+
+    def observe(self, value: float, **labels: object) -> None:
+        value = float(value)
+        with self._lock:
+            state = self._state(labels)
+            state.bucket_counts[int(np.searchsorted(self.buckets, value))] += 1
+            state.sum += value
+            state.count += 1
+
+    def observe_many(self, values: Iterable[float], **labels: object) -> None:
+        """Fold a whole array in one lock acquisition (the engine's per-batch
+        latency path)."""
+        values = np.asarray(list(values) if not isinstance(values, np.ndarray)
+                            else values, dtype=np.float64)
+        if values.size == 0:
+            return
+        slots = np.searchsorted(self.buckets, values)
+        counts = np.bincount(slots, minlength=len(self.buckets) + 1)
+        with self._lock:
+            state = self._state(labels)
+            for i, c in enumerate(counts):
+                state.bucket_counts[i] += int(c)
+            state.sum += float(values.sum())
+            state.count += int(values.size)
+
+    def snapshot(self, **labels: object) -> tuple[list[int], float, int]:
+        """``(cumulative bucket counts incl. +Inf, sum, count)``."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._children.get(key)
+            if state is None:
+                return [0] * (len(self.buckets) + 1), 0.0, 0
+            cumulative, running = [], 0
+            for c in state.bucket_counts:
+                running += c
+                cumulative.append(running)
+            return cumulative, state.sum, state.count
+
+
+class MetricsRegistry:
+    """Thread-safe, get-or-create store of metric families."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _MetricFamily] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: tuple[str, ...], **kwargs) -> _MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, tuple(labels), self._lock, **kwargs)
+                self._families[name] = family
+                return family
+        if not isinstance(family, cls):
+            raise ConfigurationError(
+                f"metric {name!r} is already registered as a {family.kind}, "
+                f"not a {cls.kind}"
+            )
+        if family.labelnames != tuple(labels):
+            raise ConfigurationError(
+                f"metric {name!r} is registered with labels "
+                f"{family.labelnames}, not {tuple(labels)}"
+            )
+        buckets = kwargs.get("buckets")
+        if buckets is not None and family.buckets != tuple(
+            float(b) for b in buckets
+        ):
+            raise ConfigurationError(
+                f"histogram {name!r} is registered with buckets "
+                f"{family.buckets}, not {tuple(buckets)}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: tuple[str, ...] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: tuple[str, ...] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    def families(self) -> tuple[_MetricFamily, ...]:
+        with self._lock:
+            return tuple(self._families[n] for n in sorted(self._families))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._families
+
+    # -- exporters --------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            if isinstance(family, Histogram):
+                for values, _state in family.samples():
+                    labels = dict(zip(family.labelnames, values))
+                    cumulative, total, count = family.snapshot(**labels)
+                    bounds = [*family.buckets, float("inf")]
+                    for bound, c in zip(bounds, cumulative):
+                        le = _render_labels(
+                            family.labelnames, values,
+                            extra=(("le", _format_value(bound)),),
+                        )
+                        lines.append(f"{family.name}_bucket{le} {c}")
+                    plain = _render_labels(family.labelnames, values)
+                    lines.append(
+                        f"{family.name}_sum{plain} {_format_value(total)}"
+                    )
+                    lines.append(f"{family.name}_count{plain} {count}")
+            else:
+                for values, value in family.samples():
+                    plain = _render_labels(family.labelnames, values)
+                    lines.append(
+                        f"{family.name}{plain} {_format_value(float(value))}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict:
+        """A schema-versioned dict mirror of the exposition output."""
+        metrics = []
+        for family in self.families():
+            samples = []
+            if isinstance(family, Histogram):
+                for values, _state in family.samples():
+                    labels = dict(zip(family.labelnames, values))
+                    cumulative, total, count = family.snapshot(**labels)
+                    samples.append({
+                        "labels": labels,
+                        "buckets": {
+                            _format_value(b): c
+                            for b, c in zip(
+                                [*family.buckets, float("inf")], cumulative
+                            )
+                        },
+                        "sum": total,
+                        "count": count,
+                    })
+            else:
+                for values, value in family.samples():
+                    samples.append({
+                        "labels": dict(zip(family.labelnames, values)),
+                        "value": float(value),
+                    })
+            metrics.append({
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "samples": samples,
+            })
+        return {"schema": METRICS_SCHEMA, "metrics": metrics}
+
+    def render_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self)} famil{'y' if len(self) == 1 else 'ies'})"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse text exposition back into ``{(name, sorted labels): value}``.
+
+    Covers the subset :meth:`MetricsRegistry.render_prometheus` emits
+    (which is the subset Prometheus itself scrapes): ``# HELP``/``# TYPE``
+    comments, optional ``{label="value"}`` sets with escaping, and
+    ``+Inf``/``-Inf``/float sample values.  Malformed lines raise.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ConfigurationError(
+                f"unparseable exposition line {lineno}: {raw!r}"
+            )
+        labels: list[tuple[str, str]] = []
+        body = match.group("labels")
+        if body:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(body):
+                labels.append((pair.group(1), _unescape_label_value(pair.group(2))))
+                consumed = pair.end()
+            remainder = body[consumed:].strip().strip(",")
+            if remainder:
+                raise ConfigurationError(
+                    f"unparseable label set on line {lineno}: {raw!r}"
+                )
+        value = match.group("value")
+        parsed = float("inf") if value == "+Inf" else float(value)
+        samples[(match.group("name"), tuple(sorted(labels)))] = parsed
+    return samples

@@ -1,0 +1,205 @@
+"""The single handle the serving stack is instrumented behind.
+
+Every instrumented component -- the engine, the delta controller, the
+drift detector, the registry -- talks to one :class:`Observer` that
+bundles the three sinks (span trace, metrics registry, event log).  The
+default everywhere is :data:`NULL_OBSERVER`, a process-wide no-op
+singleton whose ``enabled`` flag lets hot paths skip *all* telemetry
+work behind one attribute check -- the disabled path costs a branch per
+micro-batch, which the ``obs_overhead`` benchmark holds under 2 % of
+serving throughput.
+
+Component code follows one rule: cheap per-batch work may call the
+convenience helpers (:meth:`Observer.inc`, :meth:`Observer.set_gauge`,
+:meth:`Observer.event`, :meth:`Observer.span`) unconditionally -- they
+no-op on the null observer -- but anything that *builds* payloads
+(span dicts, per-stage timelines) must guard on ``observer.enabled``
+first so the disabled path never pays for allocation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry
+from repro.obs.trace import TraceRecorder
+
+
+class Observer:
+    """Bundle of telemetry sinks handed through the serving stack.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`~repro.obs.trace.TraceRecorder` receiving one
+        span record per answered request.  ``None`` disables tracing
+        while keeping metrics/events live.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`; a fresh one is
+        created when omitted, so every enabled observer can always count.
+    events:
+        An :class:`~repro.obs.events.EventLog`; a fresh in-memory one is
+        created when omitted.
+    """
+
+    enabled = True
+
+    def __init__(self, *, trace: TraceRecorder | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 events: EventLog | None = None) -> None:
+        self.trace = trace
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+
+    @classmethod
+    def to_directory(cls, directory: str | Path, *,
+                     meta: dict | None = None) -> "Observer":
+        """An observer persisting both streams under ``directory``:
+        ``trace.jsonl`` (spans) and ``events.jsonl`` (lifecycle events)."""
+        directory = Path(directory)
+        return cls(
+            trace=TraceRecorder(directory / "trace.jsonl", meta=meta),
+            events=EventLog(directory / "events.jsonl"),
+        )
+
+    @staticmethod
+    def disabled() -> "Observer":
+        """The process-wide no-op singleton (identity-stable)."""
+        return NULL_OBSERVER
+
+    # -- recording --------------------------------------------------------------
+    def span(self, record: dict) -> None:
+        """Write one span record to the trace (no-op when untraced)."""
+        if self.trace is not None:
+            self.trace.record(record)
+
+    def event(self, kind: str, **fields: object) -> None:
+        """Emit a lifecycle event and count it
+        (``events_total{kind=...}``)."""
+        self.events.emit(kind, **fields)
+        self.metrics.counter(
+            "events_total", "Lifecycle events emitted.", labels=("kind",)
+        ).inc(kind=kind)
+
+    def inc(self, name: str, amount: float = 1.0, help: str = "",
+            **labels: object) -> None:
+        """Increment counter ``name`` (family auto-created)."""
+        self.metrics.counter(name, help, labels=tuple(labels)).inc(
+            amount, **labels
+        )
+
+    def set_gauge(self, name: str, value: float, help: str = "",
+                  **labels: object) -> None:
+        """Set gauge ``name`` (family auto-created)."""
+        self.metrics.gauge(name, help, labels=tuple(labels)).set(
+            value, **labels
+        )
+
+    def observe_hist(self, name: str, values: Iterable[float],
+                     help: str = "", **labels: object) -> None:
+        """Fold values into histogram ``name`` (family auto-created)."""
+        self.metrics.histogram(name, help, labels=tuple(labels)).observe_many(
+            values, **labels
+        )
+
+    # -- exporters / lifetime ---------------------------------------------------
+    def render_prometheus(self) -> str:
+        return self.metrics.render_prometheus()
+
+    def render_json(self, *, indent: int | None = 2) -> str:
+        return self.metrics.render_json(indent=indent)
+
+    def write_prometheus(self, path: str | Path) -> Path:
+        """Dump a text-exposition scrape to ``path``; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render_prometheus())
+        return path
+
+    def write_metrics_json(self, path: str | Path) -> Path:
+        """Dump the JSON exporter's output to ``path``; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render_json(indent=2) + "\n")
+        return path
+
+    def flush(self) -> None:
+        if self.trace is not None:
+            self.trace.flush()
+        self.events.flush()
+
+    def close(self) -> None:
+        if self.trace is not None:
+            self.trace.close()
+        self.events.close()
+
+    def __enter__(self) -> "Observer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        traced = self.trace.path if self.trace is not None else None
+        return (
+            f"Observer(trace={str(traced) if traced else None!r}, "
+            f"metrics={self.metrics!r}, events={self.events!r})"
+        )
+
+
+class _NullObserver(Observer):
+    """Shared do-nothing observer: the default for every component.
+
+    All recording methods return immediately; ``enabled`` is ``False`` so
+    hot paths can skip payload construction entirely.  There is exactly
+    one instance per process (:data:`NULL_OBSERVER`) -- identity
+    comparison is part of the contract and tested.
+    """
+
+    enabled = False
+    trace = None
+    metrics = None
+    events = None
+
+    def __init__(self) -> None:  # no sinks, nothing to set up
+        pass
+
+    def span(self, record: dict) -> None:
+        pass
+
+    def event(self, kind: str, **fields: object) -> None:
+        pass
+
+    def inc(self, name: str, amount: float = 1.0, help: str = "",
+            **labels: object) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, help: str = "",
+                  **labels: object) -> None:
+        pass
+
+    def observe_hist(self, name: str, values: Iterable[float],
+                     help: str = "", **labels: object) -> None:
+        pass
+
+    def render_prometheus(self) -> str:
+        return ""
+
+    def render_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps({"schema": METRICS_SCHEMA, "metrics": []})
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullObserver()"
+
+
+#: The process-wide disabled observer every component defaults to.
+NULL_OBSERVER = _NullObserver()

@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.observer import NULL_OBSERVER
 from repro.serving.controller import (
     CalibrationPoint,
     DeltaCalibration,
@@ -278,6 +279,10 @@ class DriftDetector:
         self._armed = True
         self._breach_streak = 0
         self._calm_streak = 0
+        #: Telemetry sink: the ``drift_score`` gauge plus
+        #: ``drift_detected`` / ``drift_recovered`` events.  The engine
+        #: rebinds this when telemetry is enabled.
+        self.observer = NULL_OBSERVER
 
     @classmethod
     def from_cache(
@@ -351,6 +356,12 @@ class DriftDetector:
             quantile_weight=self.quantile_weight,
         )
         self.last_score = score
+        if self.observer.enabled:
+            self.observer.set_gauge(
+                "drift_score",
+                score,
+                "Live drift score vs. the reference regime (PSI-scale).",
+            )
         if self._armed:
             breached = score >= self.threshold
             self._breach_streak = self._breach_streak + 1 if breached else 0
@@ -363,6 +374,12 @@ class DriftDetector:
                     score,
                     self.threshold,
                 )
+                self.observer.event(
+                    "drift_detected",
+                    observation=self.observations,
+                    score=score,
+                    threshold=self.threshold,
+                )
                 return DriftEvent(observation=self.observations, score=score)
         else:
             calm = score <= self.threshold * self.rearm_fraction
@@ -370,6 +387,11 @@ class DriftDetector:
             if self._calm_streak >= self.patience:
                 self._armed = True
                 self._calm_streak = 0
+                self.observer.event(
+                    "drift_recovered",
+                    observation=self.observations,
+                    score=score,
+                )
                 return DriftEvent(
                     observation=self.observations, score=score, kind="recovery"
                 )
@@ -787,6 +809,9 @@ class AdaptiveDeltaPolicy:
         table.entry(self.current_regime)  # validate
         self.detector = detector  # None until prime() derives one
         self.events: list[RetargetEvent] = []
+        #: Telemetry sink propagated onto a prime()-derived detector; the
+        #: engine rebinds it (and the detector's) when telemetry is on.
+        self.observer = NULL_OBSERVER
 
     def rebind(self, table: OperatingTable) -> None:
         """Point the policy at another model's operating table (hot swap).
@@ -817,6 +842,8 @@ class AdaptiveDeltaPolicy:
             self.detector = DriftDetector(reference)
         else:
             self.detector.rebase(reference)
+        if self.detector.observer is NULL_OBSERVER:
+            self.detector.observer = self.observer
         _log.info(
             "adaptive serving primed: regime %r, delta %.3f (predicted %.3g ops)",
             self.current_regime,

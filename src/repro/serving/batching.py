@@ -55,12 +55,20 @@ class MicroBatcher:
     def __init__(self, policy: MicroBatchPolicy | None = None) -> None:
         self.policy = policy or MicroBatchPolicy()
         self._pending: deque[Any] = deque()
+        self._peak_pending = 0
 
     def __len__(self) -> int:
         return len(self._pending)
 
+    @property
+    def peak_pending(self) -> int:
+        """Deepest the pending queue has ever been (telemetry)."""
+        return self._peak_pending
+
     def add(self, item: Any) -> None:
         self._pending.append(item)
+        if len(self._pending) > self._peak_pending:
+            self._peak_pending = len(self._pending)
 
     def next_batch(self) -> list[Any]:
         """Pop up to ``max_batch_size`` items (empty list when idle)."""

@@ -22,6 +22,7 @@ views into those buffers rather than per-row copies.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -51,6 +52,18 @@ class CascadeStageRecord:
 
 
 @dataclass(frozen=True)
+class StageTiming:
+    """Wall time one executed stage spent on its (shrinking) active set."""
+
+    stage_index: int
+    stage_name: str
+    #: Inputs still active when the stage ran.
+    active: int
+    #: Wall-clock seconds the stage took (segment + classifier + decide).
+    wall_s: float
+
+
+@dataclass(frozen=True)
 class CascadeResult:
     """Per-input outcome of one conditional cascade execution."""
 
@@ -62,6 +75,11 @@ class CascadeResult:
     confidences: np.ndarray
     #: Per-stage decision records (only when ``record_stages=True``).
     stage_records: tuple[CascadeStageRecord, ...] | None = None
+    #: Per-stage wall times (only when ``record_timing=True``).
+    stage_timings: tuple[StageTiming, ...] | None = None
+    #: Inputs force-terminated by the ``max_stage`` depth cap (inputs whose
+    #: confidence alone would have sent them deeper).
+    forced_exits: int = 0
 
 
 def execute_cascade(
@@ -71,6 +89,7 @@ def execute_cascade(
     *,
     max_stage: int | None = None,
     record_stages: bool = False,
+    record_timing: bool = False,
 ) -> CascadeResult:
     """Run one batch through the conditional cascade (Algorithm 2).
 
@@ -91,6 +110,10 @@ def execute_cascade(
     record_stages:
         Collect a :class:`CascadeStageRecord` per executed stage (used by
         the instance tracer; adds no copies, records hold views).
+    record_timing:
+        Collect a :class:`StageTiming` per executed stage (used by the
+        serving observer's per-stage latency breakdown).  Costs two
+        ``perf_counter`` calls per stage and nothing when off.
     """
     num_stages = len(cdln.stages)
     if max_stage is not None and not 0 <= max_stage < num_stages:
@@ -102,10 +125,13 @@ def execute_cascade(
     exits = np.full(n, -1, dtype=np.int64)
     confidences = np.zeros(n, dtype=np.float64)
     records: list[CascadeStageRecord] = []
+    timings: list[StageTiming] = []
+    forced_exits = 0
     active = np.arange(n)
     activation = images
     cursor = 0  # next baseline layer to execute
     for stage_idx, stage in enumerate(cdln.stages):
+        stage_t0 = perf_counter() if record_timing else 0.0
         if stage.is_final:
             out = cdln.baseline.run_segment(activation, cursor, None)
             verdict = cdln.activation_module.decide(
@@ -128,6 +154,15 @@ def execute_cascade(
                         terminated=np.ones(active.shape[0], dtype=bool),
                     )
                 )
+            if record_timing:
+                timings.append(
+                    StageTiming(
+                        stage_index=stage_idx,
+                        stage_name=stage.name,
+                        active=int(active.shape[0]),
+                        wall_s=perf_counter() - stage_t0,
+                    )
+                )
             break
         stop = stage.attach_index + 1
         activation = cdln.baseline.run_segment(activation, cursor, stop)
@@ -140,6 +175,7 @@ def execute_cascade(
         )
         if max_stage is not None and stage_idx >= max_stage:
             done = np.ones(active.shape[0], dtype=bool)
+            forced_exits += int(active.shape[0] - verdict.terminate.sum())
         else:
             done = verdict.terminate
         if record_stages:
@@ -152,6 +188,15 @@ def execute_cascade(
                     labels=verdict.labels,
                     confidences=verdict.confidence,
                     terminated=done,
+                )
+            )
+        if record_timing:
+            timings.append(
+                StageTiming(
+                    stage_index=stage_idx,
+                    stage_name=stage.name,
+                    active=int(active.shape[0]),
+                    wall_s=perf_counter() - stage_t0,
                 )
             )
         if done.any():
@@ -169,4 +214,6 @@ def execute_cascade(
         exit_stages=exits,
         confidences=confidences,
         stage_records=tuple(records) if record_stages else None,
+        stage_timings=tuple(timings) if record_timing else None,
+        forced_exits=forced_exits,
     )

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs.observer import NULL_OBSERVER
 from repro.ops.profile import PathCostTable
 from repro.utils.logging import get_logger
 
@@ -181,6 +182,9 @@ class DeltaController:
         self._delta = float(delta)
         self._calibration: DeltaCalibration | None = None
         self._cost_ratio = 1.0  # EWMA of observed / predicted mean ops
+        #: Lifecycle-event sink (``recalibration`` / ``retarget``); the
+        #: engine rebinds this when telemetry is enabled.
+        self.observer = NULL_OBSERVER
 
     # -- state -----------------------------------------------------------------
     @property
@@ -257,6 +261,14 @@ class DeltaController:
             points=tuple(points), sample_size=int(images.shape[0])
         )
         self._repick()
+        self.observer.event(
+            "recalibration",
+            sample_size=int(images.shape[0]),
+            delta=self._delta,
+            predicted_mean_ops=self._calibration.point_for_delta(
+                self._delta
+            ).mean_ops,
+        )
         _log.info(
             "calibrated on %d images: delta=%.3f predicted %.3g mean ops",
             images.shape[0],
@@ -317,6 +329,12 @@ class DeltaController:
         self._cost_ratio = 1.0
         self._repick()
         point = self._calibration.point_for_delta(self._delta)
+        self.observer.event(
+            "retarget",
+            regime=str(regime),
+            delta=self._delta,
+            predicted_mean_ops=point.mean_ops,
+        )
         _log.info(
             "retargeted to regime %r: delta=%.3f predicted %.3g mean ops",
             regime,

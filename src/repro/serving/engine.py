@@ -31,6 +31,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.serving.batching import MicroBatcher, MicroBatchPolicy, collect_from_queue
 from repro.serving.cascade import execute_cascade
 from repro.serving.controller import DeltaController
@@ -136,6 +137,14 @@ class InferenceEngine:
         needed) and feeds its drift detector after every dispatched
         micro-batch, retargeting δ from the operating table when the
         detector fires.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer` bundling the span
+        trace, metrics registry and event log.  Defaults to the no-op
+        :data:`~repro.obs.observer.NULL_OBSERVER`; the handle is also
+        propagated onto the registry, the served entry, the controller
+        and the adaptive policy's detector (wherever those still hold the
+        null observer), so one constructor argument instruments the whole
+        stack.
     """
 
     def __init__(
@@ -148,6 +157,7 @@ class InferenceEngine:
         controller: DeltaController | None = None,
         delta: float | None = None,
         adaptive=None,
+        observer: Observer | None = None,
     ) -> None:
         if (model is None) == (registry is None):
             raise ConfigurationError(
@@ -161,23 +171,47 @@ class InferenceEngine:
                 "adaptive serving needs a DeltaController with a soft "
                 "target_mean_ops (the operating table is a mean-OPS curve)"
             )
+        self.observer = observer if observer is not None else NULL_OBSERVER
         if registry is None:
-            registry = ModelRegistry()
+            registry = ModelRegistry(observer=self.observer)
             registry.register("default", model)
+        elif registry.observer is NULL_OBSERVER:
+            registry.observer = self.observer
         self.registry = registry
         self.policy = policy or MicroBatchPolicy()
         self.controller = controller
         self.delta = delta
         self.adaptive = adaptive
         self._entry: ModelEntry = registry.resolve(model_spec)
+        # Bind telemetry BEFORE warming/priming so the warm-up and the
+        # initial retarget land in the event log.
+        self._bind_observer(self._entry)
         self._entry.warm()
         self.metrics = ServingMetrics(self._entry.cdln.stage_names)
         self._batcher = MicroBatcher(self.policy)
         self._ids = itertools.count()
+        self._batch_ids = itertools.count()
         self._lock = threading.Lock()
         self._warned_uncalibrated = False
         if adaptive is not None:
             adaptive.prime(self)
+
+    def _bind_observer(self, entry: ModelEntry) -> None:
+        """Propagate the engine's observer onto every collaborator that
+        still holds the null observer (explicit per-component observers
+        are left alone)."""
+        if self.observer is NULL_OBSERVER:
+            return
+        if entry.observer is NULL_OBSERVER:
+            entry.observer = self.observer
+        if self.controller is not None and self.controller.observer is NULL_OBSERVER:
+            self.controller.observer = self.observer
+        if self.adaptive is not None:
+            if self.adaptive.observer is NULL_OBSERVER:
+                self.adaptive.observer = self.observer
+            detector = self.adaptive.detector
+            if detector is not None and detector.observer is NULL_OBSERVER:
+                detector.observer = self.observer
 
     # -- model management -------------------------------------------------------
     @property
@@ -201,6 +235,7 @@ class InferenceEngine:
                 f"adaptive engine cannot swap to {entry.spec}: the entry has "
                 "no operating table (attach one at register time)"
             )
+        self._bind_observer(entry)
         entry.warm()
         with self._lock:
             if entry.cdln.stage_names != self._entry.cdln.stage_names:
@@ -258,9 +293,11 @@ class InferenceEngine:
         while True:
             with self._lock:
                 batch = self._batcher.next_batch()
+                # Depth at dispatch: this batch plus whatever still waits.
+                depth = len(batch) + len(self._batcher)
             if not batch:
                 return served
-            self._process_batch(batch)
+            self._process_batch(batch, queue_depth=depth)
             served += len(batch)
 
     def classify(self, image: np.ndarray) -> InferenceResponse:
@@ -275,11 +312,15 @@ class InferenceEngine:
         self.flush()
         return [t.result(timeout=0) for t in tickets]
 
-    def _process_batch(self, batch: list[_Pending]) -> None:
+    def _process_batch(
+        self, batch: list[_Pending], *, queue_depth: int | None = None
+    ) -> None:
         if not batch:
             # A degenerate dispatch (drained queue, empty flush) is a no-op,
             # not an np.stack([]) crash / NaN-mean controller observation.
             return
+        observer = self.observer
+        dispatched_at = perf_counter()
         with self._lock:
             # Snapshot both together so a concurrent use_model() cannot
             # leave an in-flight batch recording old-model exit stages
@@ -316,6 +357,8 @@ class InferenceEngine:
         result = execute_cascade(
             entry.cdln, images, delta, max_stage=max_stage,
             record_stages=record_stages,
+            # Stage walls only matter when spans are being written.
+            record_timing=observer.enabled and observer.trace is not None,
         )
         # Stage 0 sees the full batch (nothing has exited yet), so its
         # record covers every request in submission order.
@@ -355,12 +398,128 @@ class InferenceEngine:
             ops=ops,
             energies_pj=energies,
             stage0_confidences=stage0_confidences,
+            queue_depth=queue_depth,
         )
+        if observer.enabled:
+            self._emit_batch_telemetry(
+                entry=entry,
+                batch=batch,
+                result=result,
+                ops=ops,
+                energies=energies,
+                latencies=latencies,
+                dispatched_at=dispatched_at,
+                effective_delta=float(effective_delta),
+                max_stage=max_stage,
+                queue_depth=queue_depth,
+            )
         if controller is not None:
             controller.observe(float(ops.mean()), len(batch))
         if self.adaptive is not None:
             self.adaptive.after_batch(
                 self, result.exit_stages, stage0_confidences
+            )
+
+    def _emit_batch_telemetry(
+        self,
+        *,
+        entry: ModelEntry,
+        batch: list[_Pending],
+        result,
+        ops: np.ndarray,
+        energies: np.ndarray,
+        latencies: np.ndarray,
+        dispatched_at: float,
+        effective_delta: float,
+        max_stage: int | None,
+        queue_depth: int | None,
+    ) -> None:
+        """Fold one dispatched batch into the observer's three sinks.
+
+        Only called when ``observer.enabled`` -- the disabled path pays a
+        single branch per micro-batch and never reaches the payload
+        construction below.
+        """
+        observer = self.observer
+        stage_names = entry.cdln.stage_names
+        counts = np.bincount(result.exit_stages, minlength=len(stage_names))
+        for stage, count in enumerate(counts):
+            if count:
+                observer.inc(
+                    "requests_total",
+                    float(count),
+                    "Requests answered, by cascade exit stage.",
+                    exit_stage=stage_names[stage],
+                )
+        observer.observe_hist(
+            "request_latency_seconds",
+            latencies,
+            "Queue-to-answer latency per request (seconds).",
+        )
+        observer.inc(
+            "ops_total", float(ops.sum()),
+            "Scalar OPS paid across answered requests.",
+        )
+        observer.inc(
+            "energy_pj_total", float(energies.sum()),
+            "Energy (pJ) paid across answered requests.",
+        )
+        observer.set_gauge(
+            "delta", effective_delta,
+            "Runtime confidence threshold currently in force.",
+        )
+        observer.set_gauge(
+            "batch_size", float(len(batch)),
+            "Size of the last dispatched micro-batch.",
+        )
+        if queue_depth is not None:
+            observer.set_gauge(
+                "queue_depth", float(queue_depth),
+                "Queue depth at dispatch (batch plus still-waiting).",
+            )
+        if result.forced_exits:
+            observer.event(
+                "hard_cap_trip",
+                model_spec=entry.spec,
+                max_stage=max_stage,
+                forced=int(result.forced_exits),
+                batch_size=len(batch),
+            )
+        if observer.trace is None:
+            return
+        batch_id = next(self._batch_ids)
+        stages_payload = [
+            {
+                "stage": t.stage_index,
+                "name": t.stage_name,
+                "active": t.active,
+                "wall_s": t.wall_s,
+                "ops": float(entry.exit_ops[t.stage_index]),
+            }
+            for t in (result.stage_timings or ())
+        ]
+        for i, pending in enumerate(batch):
+            stage = int(result.exit_stages[i])
+            observer.span(
+                {
+                    "kind": "span",
+                    "request_id": pending.ticket.request_id,
+                    "batch_id": batch_id,
+                    "model_spec": entry.spec,
+                    "queue_wait_s": dispatched_at - pending.enqueued_at,
+                    "latency_s": float(latencies[i]),
+                    "exit_stage": stage,
+                    "exit_stage_name": stage_names[stage],
+                    "confidence": float(result.confidences[i]),
+                    "delta": effective_delta,
+                    "max_stage": max_stage,
+                    "batch_size": len(batch),
+                    # Exact float64 the metrics accumulator summed -- the
+                    # span-level reconciliation invariant depends on it.
+                    "ops": float(ops[i]),
+                    "energy_pj": float(energies[i]),
+                    "stages": stages_payload,
+                }
             )
 
     def __repr__(self) -> str:
@@ -450,7 +609,11 @@ class AsyncInferenceEngine:
                 continue  # idle poll; loop so stop() can interleave
             if not batch:
                 return  # sentinel: shut down
-            self.engine._process_batch(batch)
+            self.engine._process_batch(
+                # qsize() is approximate under concurrency, which is fine
+                # for a telemetry high-water mark.
+                batch, queue_depth=len(batch) + self._queue.qsize()
+            )
 
     def __enter__(self) -> "AsyncInferenceEngine":
         return self.start()

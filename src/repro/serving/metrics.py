@@ -57,6 +57,15 @@ class MetricsSnapshot:
     total_energy_pj: float
     mean_energy_pj: float
     stage0_quantiles: np.ndarray | None = None
+    #: Tail latencies use ``np.quantile(..., method="higher")``: an actual
+    #: observed sample, never an interpolated value -- so with fewer than
+    #: 100 samples in the window, p99 is simply the window maximum
+    #: (conservative, deterministic).
+    latency_p99_s: float = 0.0
+    latency_p999_s: float = 0.0
+    #: Deepest queue observed at any dispatch (0 when the engine never
+    #: reported depths, e.g. direct ``submit`` + ``flush`` loops).
+    max_queue_depth: int = 0
 
     def exit_stage_fractions(self) -> np.ndarray:
         """Exit-stage histogram normalized to fractions (sums to 1)."""
@@ -72,6 +81,9 @@ class MetricsSnapshot:
         table.add_row(["latency mean (ms)", round(self.latency_mean_s * 1e3, 3)])
         table.add_row(["latency p50 (ms)", round(self.latency_p50_s * 1e3, 3)])
         table.add_row(["latency p95 (ms)", round(self.latency_p95_s * 1e3, 3)])
+        table.add_row(["latency p99 (ms)", round(self.latency_p99_s * 1e3, 3)])
+        table.add_row(["latency p99.9 (ms)", round(self.latency_p999_s * 1e3, 3)])
+        table.add_row(["max queue depth", self.max_queue_depth])
         fractions = "/".join(f"{f:.2f}" for f in self.exit_stage_fractions())
         table.add_row([f"exit fractions ({'/'.join(self.stage_names)})", fractions])
         table.add_row(["mean OPS / request", round(self.mean_ops, 1)])
@@ -110,6 +122,7 @@ class ServingMetrics:
         self._exit_counts = np.zeros(len(self.stage_names), dtype=np.int64)
         self._total_ops = 0.0
         self._total_energy_pj = 0.0
+        self._max_queue_depth = 0
         self._latencies.clear()
         self._stage0_conf.clear()
         self._started_at: float | None = None
@@ -127,6 +140,7 @@ class ServingMetrics:
         ops: np.ndarray,
         energies_pj: np.ndarray,
         stage0_confidences: np.ndarray | None = None,
+        queue_depth: int | None = None,
     ) -> None:
         """Fold one dispatched micro-batch into the counters.
 
@@ -146,6 +160,10 @@ class ServingMetrics:
             into the rolling window behind
             :attr:`MetricsSnapshot.stage0_quantiles` (the adaptive drift
             signal); pass ``None`` when the engine is not collecting them.
+        queue_depth:
+            Optional queue depth at dispatch time (this batch plus
+            whatever is still waiting); the lifetime maximum is exposed as
+            :attr:`MetricsSnapshot.max_queue_depth`.
         """
         now = perf_counter()
         size = int(exit_stages.shape[0])
@@ -162,6 +180,8 @@ class ServingMetrics:
             self._latencies.extend(float(v) for v in latencies_s)
             if stage0_confidences is not None:
                 self._stage0_conf.extend(float(v) for v in stage0_confidences)
+            if queue_depth is not None and queue_depth > self._max_queue_depth:
+                self._max_queue_depth = int(queue_depth)
 
     def snapshot(self) -> MetricsSnapshot:
         """Fold the counters into one consistent :class:`MetricsSnapshot`."""
@@ -178,6 +198,7 @@ class ServingMetrics:
             counts = self._exit_counts.copy()
             total_ops = self._total_ops
             total_energy = self._total_energy_pj
+            max_queue_depth = self._max_queue_depth
         has_latency = latencies.size > 0
         return MetricsSnapshot(
             requests=requests,
@@ -198,6 +219,19 @@ class ServingMetrics:
                 if stage0.size
                 else None
             ),
+            # method="higher" returns an observed sample, so small windows
+            # degrade to the max instead of an optimistic interpolation.
+            latency_p99_s=(
+                float(np.quantile(latencies, 0.99, method="higher"))
+                if has_latency
+                else 0.0
+            ),
+            latency_p999_s=(
+                float(np.quantile(latencies, 0.999, method="higher"))
+                if has_latency
+                else 0.0
+            ),
+            max_queue_depth=max_queue_depth,
         )
 
     def __repr__(self) -> str:

@@ -19,6 +19,7 @@ import numpy as np
 from repro.energy.models import opcount_energy
 from repro.energy.technology import TECHNOLOGY_45NM, TechnologyModel
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.ops.profile import PathCostTable
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive_int
@@ -42,6 +43,10 @@ class ModelEntry:
     cdln: "object"  # a fitted repro.cdl.network.CDLN
     technology: TechnologyModel = TECHNOLOGY_45NM
     operating_table: "object | None" = None
+    #: Lifecycle-event sink (``model_warm`` / ``model_cool``); the
+    #: registry stamps its own observer in at registration, and an engine
+    #: rebinding telemetry re-stamps the entry it serves.
+    observer: Observer = field(default=NULL_OBSERVER, repr=False)
     _cost_table: PathCostTable | None = field(default=None, repr=False)
     _exit_ops: np.ndarray | None = field(default=None, repr=False)
     _exit_energies_pj: np.ndarray | None = field(default=None, repr=False)
@@ -68,13 +73,17 @@ class ModelEntry:
         dummy = np.zeros((1, *self.cdln.baseline.input_shape), dtype=np.float64)
         self.cdln.baseline.forward(dummy)
         _log.info("warmed model %s", self.spec)
+        self.observer.event("model_warm", model_spec=self.spec)
         return self
 
     def cool(self) -> None:
         """Drop the warm artifacts (they rebuild lazily on next use)."""
+        was_warm = self.is_warm
         self._cost_table = None
         self._exit_ops = None
         self._exit_energies_pj = None
+        if was_warm:
+            self.observer.event("model_cool", model_spec=self.spec)
 
     @property
     def cost_table(self) -> PathCostTable:
@@ -126,8 +135,14 @@ class ModelRegistry:
     taken).  Versions auto-increment per name unless given explicitly.
     """
 
-    def __init__(self, technology: TechnologyModel = TECHNOLOGY_45NM) -> None:
+    def __init__(
+        self,
+        technology: TechnologyModel = TECHNOLOGY_45NM,
+        *,
+        observer: Observer = NULL_OBSERVER,
+    ) -> None:
         self.technology = technology
+        self.observer = observer
         self._entries: dict[tuple[str, int], ModelEntry] = {}
         self._lock = threading.Lock()
 
@@ -188,8 +203,15 @@ class ModelRegistry:
                 cdln=cdln,
                 technology=self.technology,
                 operating_table=operating_table,
+                observer=self.observer,
             )
             self._entries[(name, version)] = entry
+        self.observer.event(
+            "model_registered",
+            model_spec=entry.spec,
+            warm=bool(warm),
+            has_operating_table=operating_table is not None,
+        )
         if warm:
             entry.warm()
         _log.info("registered model %s", entry.spec)
@@ -245,6 +267,8 @@ class ModelRegistry:
                 )
             for key in keys:
                 del self._entries[key]
+        for n, v in keys:
+            self.observer.event("model_evicted", model_spec=f"{n}:{v}")
         _log.info("evicted %d entr%s of model %r", len(keys), "y" if len(keys) == 1 else "ies", name)
         return len(keys)
 

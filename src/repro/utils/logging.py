@@ -2,14 +2,20 @@
 
 The library never configures the root logger; it logs under the ``repro``
 namespace and leaves handler configuration to the application.
-:func:`enable_console_logging` is a convenience for examples and benches.
+:func:`enable_console_logging` is a convenience for examples and benches;
+it can emit classic text lines or one JSON object per line
+(:class:`JsonLogFormatter`) for log shippers.
 """
 
 from __future__ import annotations
 
+import json
 import logging
+import time
 
 LOGGER_NAME = "repro"
+
+_TEXT_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
@@ -19,13 +25,69 @@ def get_logger(name: str | None = None) -> logging.Logger:
     return logging.getLogger(LOGGER_NAME)
 
 
-def enable_console_logging(level: int = logging.INFO) -> None:
-    """Attach a simple stderr handler to the library logger (idempotent)."""
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line: ``time_unix``, ``level``, ``logger``,
+    ``message``, plus ``exc_info`` text when present."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "time_unix": record.created,
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _make_formatter(fmt: str) -> logging.Formatter:
+    if fmt == "text":
+        return logging.Formatter(_TEXT_FORMAT)
+    if fmt == "json":
+        return JsonLogFormatter()
+    from repro.errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"fmt must be 'text' or 'json', got {fmt!r}"
+    )
+
+
+def enable_console_logging(level: int = logging.INFO, *, fmt: str = "text") -> None:
+    """Attach a stderr handler to the library logger (idempotent per format).
+
+    ``fmt="text"`` emits the classic human-readable line, ``fmt="json"``
+    one JSON object per line (:class:`JsonLogFormatter`).  Idempotency is
+    keyed on the handler's *formatter*, not just the handler type -- so
+    calling twice with the same format adds nothing, while switching
+    formats replaces the previously attached console handler instead of
+    double-logging every record.
+    """
+    formatter = _make_formatter(fmt)
     logger = get_logger()
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
-        handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
-        )
-        logger.addHandler(handler)
+    for handler in list(logger.handlers):
+        if not isinstance(handler, logging.StreamHandler):
+            continue
+        if not _is_ours(handler.formatter):
+            continue  # an application-attached handler; leave it alone
+        if type(handler.formatter) is type(formatter):
+            return  # same console format already attached
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(formatter)
+    logger.addHandler(handler)
+
+
+def _is_ours(formatter: logging.Formatter | None) -> bool:
+    """Whether a handler's formatter is one :func:`enable_console_logging`
+    attached (vs. something the application configured)."""
+    if isinstance(formatter, JsonLogFormatter):
+        return True
+    return (
+        type(formatter) is logging.Formatter
+        and getattr(formatter, "_fmt", None) == _TEXT_FORMAT
+    )

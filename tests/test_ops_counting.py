@@ -207,3 +207,68 @@ class TestConditionalOpsProfile:
             np.array(exits), np.zeros(len(exits), dtype=int), table
         )
         assert 20.0 <= profile.average_ops <= 100.0
+
+
+class TestProfileCoverage:
+    """The remaining profile surface: normalized OPS, improvement algebra,
+    mismatched-array validation, and the NaN conventions of the per-digit
+    views."""
+
+    def test_normalized_ops_is_inverse_improvement(self):
+        table = _table([10, 50])
+        profile = ConditionalOpsProfile.from_exits(
+            np.array([0, 0, 1, 1]), np.zeros(4, dtype=int), table
+        )
+        assert profile.normalized_ops == pytest.approx(
+            1.0 / profile.ops_improvement
+        )
+        assert profile.normalized_ops == pytest.approx(60.0 / 100.0)
+
+    def test_all_final_exits_mean_no_savings(self):
+        table = _table([10, 50])
+        profile = ConditionalOpsProfile.from_exits(
+            np.array([1, 1, 1]), np.zeros(3, dtype=int), table
+        )
+        assert profile.normalized_ops == pytest.approx(1.0)
+        assert profile.ops_improvement == pytest.approx(1.0)
+        np.testing.assert_allclose(profile.stage_exit_fractions(), [0.0, 1.0])
+
+    def test_per_digit_improvement_nan_for_absent_digits(self):
+        table = _table([10, 50])
+        profile = ConditionalOpsProfile.from_exits(
+            np.array([0]), np.array([3]), table
+        )
+        improvement = profile.per_digit_improvement()
+        assert improvement[3] == pytest.approx(5.0)
+        absent = np.delete(np.arange(10), 3)
+        assert np.isnan(improvement[absent]).all()
+
+    def test_mismatched_array_lengths_raise(self):
+        table = _table([10, 50])
+        with pytest.raises(ConfigurationError):
+            ConditionalOpsProfile(
+                per_input_ops=np.array([20.0, 100.0]),
+                exit_stages=np.array([0]),
+                labels=np.array([1, 5]),
+                costs=table,
+            )
+        with pytest.raises(ConfigurationError):
+            ConditionalOpsProfile(
+                per_input_ops=np.array([20.0]),
+                exit_stages=np.array([0]),
+                labels=np.array([1, 5]),
+                costs=table,
+            )
+
+    def test_negative_exit_stage_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConditionalOpsProfile.from_exits(
+                np.array([-1]), np.array([0]), _table([10, 20])
+            )
+
+    def test_exit_totals_double_macs(self):
+        # OPS = 2 * MACs (multiply + accumulate); the totals table carries
+        # the doubled figure the paper quotes.
+        table = _table([7, 11])
+        np.testing.assert_array_equal(table.exit_totals(), [14, 22])
+        assert table.num_stages == 2

@@ -454,6 +454,57 @@ class TestServingMetrics:
         with pytest.raises(ConfigurationError):
             ServingMetrics(())
 
+    def test_small_window_p99_equals_max(self):
+        # With method="higher" the quantile is always an observed sample;
+        # for n < 100 both tail quantiles collapse to the window max, so a
+        # tiny bench run reports a deterministic (not interpolated) tail.
+        metrics = ServingMetrics(("O1", "FC"))
+        latencies = np.linspace(0.001, 0.05, 37)
+        metrics.record_batch(
+            latencies_s=latencies,
+            exit_stages=np.zeros(37, dtype=np.int64),
+            ops=np.full(37, 10.0),
+            energies_pj=np.full(37, 1.0),
+        )
+        snap = metrics.snapshot()
+        assert snap.latency_p99_s == snap.latency_p999_s == latencies.max()
+        assert snap.latency_p95_s <= snap.latency_p99_s
+
+    def test_large_window_p99_is_observed_sample(self):
+        metrics = ServingMetrics(("O1", "FC"))
+        latencies = np.arange(1, 1001, dtype=np.float64) / 1e3
+        metrics.record_batch(
+            latencies_s=latencies,
+            exit_stages=np.zeros(1000, dtype=np.int64),
+            ops=np.full(1000, 10.0),
+            energies_pj=np.full(1000, 1.0),
+        )
+        snap = metrics.snapshot()
+        assert snap.latency_p99_s in latencies
+        assert snap.latency_p99_s < snap.latency_p999_s <= latencies.max()
+
+    def test_empty_window_tail_quantiles_zero(self):
+        snap = ServingMetrics(("O1", "FC")).snapshot()
+        assert snap.latency_p99_s == 0.0
+        assert snap.latency_p999_s == 0.0
+        assert snap.max_queue_depth == 0
+
+    def test_max_queue_depth_high_water_mark(self):
+        metrics = ServingMetrics(("O1", "FC"))
+        for depth in (3, 9, 4, None):
+            metrics.record_batch(
+                latencies_s=np.array([0.001]),
+                exit_stages=np.array([0]),
+                ops=np.array([10.0]),
+                energies_pj=np.array([1.0]),
+                queue_depth=depth,
+            )
+        snap = metrics.snapshot()
+        assert snap.max_queue_depth == 9
+        assert "max queue depth" in snap.render()
+        metrics.reset()
+        assert metrics.snapshot().max_queue_depth == 0
+
 
 # -- degenerate inputs ---------------------------------------------------------
 

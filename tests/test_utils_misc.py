@@ -1,7 +1,10 @@
 """Tests for utilities, errors, IDX loading, and the public API surface."""
 
 import gzip
+import json
+import logging
 import struct
+import sys
 
 import numpy as np
 import pytest
@@ -20,6 +23,11 @@ from repro.errors import (
     ReproError,
     SerializationError,
     ShapeError,
+)
+from repro.utils.logging import (
+    JsonLogFormatter,
+    enable_console_logging,
+    get_logger,
 )
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.tables import AsciiBarChart, AsciiTable, format_float
@@ -224,3 +232,78 @@ class TestPublicApi:
         assert callable(repro.train_cdln)
         assert callable(repro.evaluate_cdln)
         assert callable(repro.make_dataset_pair)
+
+
+class TestLogging:
+    """``enable_console_logging`` idempotency is keyed on the attached
+    *formatter*, so repeated calls never double-log and switching formats
+    swaps the console handler instead of stacking a second one."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_handlers(self):
+        logger = get_logger()
+        before = list(logger.handlers)
+        yield
+        for handler in list(logger.handlers):
+            if handler not in before:
+                logger.removeHandler(handler)
+
+    def test_text_idempotent(self):
+        logger = get_logger()
+        start = len(logger.handlers)
+        enable_console_logging()
+        enable_console_logging()
+        assert len(logger.handlers) == start + 1
+
+    def test_format_switch_replaces_handler(self):
+        logger = get_logger()
+        start = len(logger.handlers)
+        enable_console_logging(fmt="text")
+        enable_console_logging(fmt="json")
+        assert len(logger.handlers) == start + 1
+        ours = [
+            h for h in logger.handlers
+            if isinstance(h.formatter, JsonLogFormatter)
+        ]
+        assert len(ours) == 1
+        enable_console_logging(fmt="json")  # and json is idempotent too
+        assert len(logger.handlers) == start + 1
+
+    def test_application_handlers_untouched(self):
+        logger = get_logger()
+        app = logging.StreamHandler()
+        app.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(app)
+        enable_console_logging(fmt="text")
+        enable_console_logging(fmt="json")
+        assert app in logger.handlers
+
+    def test_json_formatter_output_parses(self):
+        record = logging.LogRecord(
+            name="repro.test", level=logging.WARNING, pathname=__file__,
+            lineno=1, msg="drift score %.2f", args=(0.25,), exc_info=None,
+        )
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["level"] == "WARNING"
+        assert payload["logger"] == "repro.test"
+        assert payload["message"] == "drift score 0.25"
+        assert payload["time_unix"] == pytest.approx(record.created)
+
+    def test_json_formatter_includes_exc_info(self):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            record = logging.LogRecord(
+                name="repro", level=logging.ERROR, pathname=__file__,
+                lineno=1, msg="failed", args=(), exc_info=sys.exc_info(),
+            )
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert "ValueError: boom" in payload["exc_info"]
+
+    def test_invalid_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            enable_console_logging(fmt="yaml")
+
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("serving").name == "repro.serving"
