@@ -22,6 +22,7 @@ from repro.serving import (
     InferenceEngine,
     ModelRegistry,
     OperatingTable,
+    ServingConfig,
 )
 
 DELTA = 0.6
@@ -63,11 +64,13 @@ def main() -> None:
     registry.register("mnist", trained, operating_table=path)
     baseline_ops = float(cdln.path_cost_table().baseline_cost.total)
     controller = DeltaController(target_mean_ops=0.75 * baseline_ops)
-    engine = InferenceEngine(
-        registry=registry,
-        model_spec="mnist",
-        controller=controller,
-        adaptive=AdaptiveDeltaPolicy(registry.resolve("mnist").operating_table),
+    engine = InferenceEngine.from_config(
+        ServingConfig(
+            registry=registry,
+            model_spec="mnist",
+            controller=controller,
+            adaptive=AdaptiveDeltaPolicy(registry.resolve("mnist").operating_table),
+        )
     )
     stream = DriftStream.from_scenario(
         test,

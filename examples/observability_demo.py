@@ -21,7 +21,7 @@ from pathlib import Path
 from repro import CdlTrainingConfig, InferenceEngine, make_dataset_pair, train_cdln
 from repro.obs import Observer, read_spans, reconcile_ops
 from repro.obs.cli import main as obs_cli
-from repro.serving import MicroBatchPolicy
+from repro.serving import MicroBatchPolicy, ServingConfig
 from repro.utils.logging import enable_console_logging
 
 DELTA = 0.6
@@ -38,11 +38,13 @@ def main() -> None:
 
     # -- serve with every sink enabled ---------------------------------------
     with Observer.to_directory(outdir, meta={"example": "observability"}) as obs:
-        engine = InferenceEngine(
-            trained.cdln,
-            delta=DELTA,
-            policy=MicroBatchPolicy(max_batch_size=32),
-            observer=obs,
+        engine = InferenceEngine.from_config(
+            ServingConfig(
+                model=trained.cdln,
+                delta=DELTA,
+                policy=MicroBatchPolicy(max_batch_size=32),
+                observer=obs,
+            )
         )
         engine.classify_many(test.images)
         obs.write_prometheus(outdir / "metrics.prom")

@@ -20,11 +20,12 @@ import numpy as np
 
 from repro import CdlTrainingConfig, make_dataset_pair, train_cdln
 from repro.serving import (
-    AsyncInferenceEngine,
+    AsyncEngine,
     DeltaController,
     InferenceEngine,
     MicroBatchPolicy,
     ModelRegistry,
+    ServingConfig,
 )
 
 
@@ -40,11 +41,13 @@ def main() -> None:
     registry.register("mnist", trained)  # warms cost/energy tables
 
     # -- 1. synchronous serving with micro-batching -------------------------
-    engine = InferenceEngine(
-        registry=registry,
-        model_spec="mnist",
-        delta=0.6,
-        policy=MicroBatchPolicy(max_batch_size=64, max_wait_s=0.002),
+    engine = InferenceEngine.from_config(
+        ServingConfig(
+            registry=registry,
+            model_spec="mnist",
+            delta=0.6,
+            policy=MicroBatchPolicy(max_batch_size=64, max_wait_s=0.002),
+        )
     )
     responses = engine.classify_many(test.images[:256])
     first = responses[0]
@@ -62,7 +65,7 @@ def main() -> None:
         tickets = [server.submit(image) for image in images]
         answered.extend(t.result(timeout=30.0) for t in tickets)
 
-    with AsyncInferenceEngine(engine) as server:
+    with AsyncEngine(engine) as server:
         threads = [
             threading.Thread(target=client, args=(test.images[i * 128 : (i + 1) * 128],))
             for i in range(4)
@@ -77,8 +80,8 @@ def main() -> None:
     baseline_ops = float(trained.cdln.path_cost_table().baseline_cost.total)
     budget = 0.7 * baseline_ops
     controller = DeltaController(target_mean_ops=budget)
-    budgeted = InferenceEngine(
-        registry=registry, model_spec="mnist", controller=controller
+    budgeted = InferenceEngine.from_config(
+        ServingConfig(registry=registry, model_spec="mnist", controller=controller)
     )
     budgeted.calibrate(test.images[:300])  # warmup traffic
     served = budgeted.classify_many(test.images[300:])
@@ -91,7 +94,9 @@ def main() -> None:
 
     # -- 4. a hard per-request ceiling ---------------------------------------
     hard = DeltaController(hard_ops_budget=0.5 * baseline_ops, delta=0.6)
-    capped = InferenceEngine(registry=registry, model_spec="mnist", controller=hard)
+    capped = InferenceEngine.from_config(
+        ServingConfig(registry=registry, model_spec="mnist", controller=hard)
+    )
     capped_responses = capped.classify_many(test.images[:256])
     worst = max(r.ops for r in capped_responses)
     print(

@@ -26,13 +26,15 @@ Subpackages
     One module per paper table/figure.
 ``repro.serving``
     Batched early-exit inference serving: a model registry, an engine
-    with dynamic micro-batching, a budget-aware delta controller, and
-    per-request ops/energy/latency metrics.
+    with dynamic micro-batching, a budget-aware delta controller,
+    backpressure shedding, per-request ops/energy/latency metrics, and
+    an open-loop load generator with SLO reporting.
 
 Serving quickstart:
 
->>> from repro import InferenceEngine
->>> engine = InferenceEngine(model=trained.cdln, delta=0.6)  # doctest: +SKIP
+>>> from repro import InferenceEngine, ServingConfig
+>>> engine = InferenceEngine.from_config(
+...     ServingConfig(model=trained.cdln, delta=0.6))  # doctest: +SKIP
 >>> engine.classify(test.images[0]).exit_stage_name  # doctest: +SKIP
 'O1'
 """
@@ -64,18 +66,26 @@ from repro.nn import Network, Trainer
 from repro.obs import NULL_OBSERVER, Observer
 from repro.ops import OpCount, network_total_ops
 from repro.serving import (
+    ArrivalSchedule,
+    AsyncEngine,
     AsyncInferenceEngine,
     DeltaController,
     InferenceEngine,
     InferenceResponse,
+    LoadRunner,
     MicroBatchPolicy,
     ModelRegistry,
+    ServingConfig,
     ServingMetrics,
+    ShedPolicy,
+    SLOReport,
 )
 from repro.version import PAPER, __version__
 
 __all__ = [
     "ActivationModule",
+    "ArrivalSchedule",
+    "AsyncEngine",
     "AsyncInferenceEngine",
     "CDLN",
     "CdlTrainingConfig",
@@ -87,6 +97,7 @@ __all__ = [
     "InferenceEngine",
     "InferenceResponse",
     "LinearClassifier",
+    "LoadRunner",
     "MicroBatchPolicy",
     "ModelRegistry",
     "NULL_OBSERVER",
@@ -96,9 +107,12 @@ __all__ = [
     "OpCount",
     "PAPER",
     "ReproError",
+    "SLOReport",
     "SerializationError",
+    "ServingConfig",
     "ServingMetrics",
     "ShapeError",
+    "ShedPolicy",
     "TECHNOLOGY_45NM",
     "TechnologyModel",
     "TrainedCdl",

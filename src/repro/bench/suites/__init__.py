@@ -11,6 +11,7 @@ from repro.bench.suites import (
     adaptive,
     figures,
     hotpath,
+    loadgen,
     obs,
     scenarios,
     serving,
@@ -22,6 +23,7 @@ __all__ = [
     "adaptive",
     "figures",
     "hotpath",
+    "loadgen",
     "obs",
     "scenarios",
     "serving",

@@ -24,7 +24,7 @@ from time import perf_counter
 from repro.bench.registry import BenchContext, BenchResult, Tolerance, benchmark
 from repro.experiments.common import get_datasets, get_trained
 from repro.obs import Observer, read_spans, reconcile_ops
-from repro.serving import InferenceEngine, MicroBatchPolicy
+from repro.serving import InferenceEngine, MicroBatchPolicy, ServingConfig
 from repro.utils.tables import AsciiTable
 
 GROUP = "obs"
@@ -56,9 +56,14 @@ def bench_obs_overhead(ctx: BenchContext) -> BenchResult:
 
     with tempfile.TemporaryDirectory() as tmp:
         observer = Observer.to_directory(Path(tmp), meta={"bench": "obs_overhead"})
-        disabled = InferenceEngine(trained.cdln, delta=DELTA, policy=policy)
-        traced = InferenceEngine(
-            trained.cdln, delta=DELTA, policy=policy, observer=observer
+        disabled = InferenceEngine.from_config(
+            ServingConfig(model=trained.cdln, delta=DELTA, policy=policy)
+        )
+        traced = InferenceEngine.from_config(
+            ServingConfig(
+                model=trained.cdln, delta=DELTA, policy=policy,
+                observer=observer,
+            )
         )
         # One untimed pass each (caches, lazy warm paths).
         disabled.classify_many(images)
@@ -135,11 +140,13 @@ def bench_obs_reconcile(ctx: BenchContext) -> BenchResult:
 
     with tempfile.TemporaryDirectory() as tmp:
         with Observer.to_directory(Path(tmp), meta={"bench": "obs_reconcile"}) as obs:
-            engine = InferenceEngine(
-                trained.cdln,
-                delta=DELTA,
-                policy=MicroBatchPolicy(max_batch_size=48),
-                observer=obs,
+            engine = InferenceEngine.from_config(
+                ServingConfig(
+                    model=trained.cdln,
+                    delta=DELTA,
+                    policy=MicroBatchPolicy(max_batch_size=48),
+                    observer=obs,
+                )
             )
             engine.classify_many(images)
             obs.flush()

@@ -21,7 +21,12 @@ import numpy as np
 from repro.bench.registry import BenchContext, BenchResult, Tolerance, benchmark
 from repro.cdl.inference import classify_instance
 from repro.experiments.common import get_datasets, get_trained
-from repro.serving import DeltaController, InferenceEngine, MicroBatchPolicy
+from repro.serving import (
+    DeltaController,
+    InferenceEngine,
+    MicroBatchPolicy,
+    ServingConfig,
+)
 from repro.utils.tables import AsciiTable
 
 GROUP = "serving"
@@ -58,8 +63,10 @@ def bench_serving_throughput(ctx: BenchContext) -> BenchResult:
     ]
     naive_s = perf_counter() - start
 
-    engine = InferenceEngine(
-        model=cdln, delta=DELTA, policy=MicroBatchPolicy(max_batch_size=64)
+    engine = InferenceEngine.from_config(
+        ServingConfig(
+            model=cdln, delta=DELTA, policy=MicroBatchPolicy(max_batch_size=64)
+        )
     )
     start = perf_counter()
     tickets = [engine.submit(image) for image in images]
@@ -121,10 +128,12 @@ def bench_serving_delta_budget(ctx: BenchContext) -> BenchResult:
     warmup = test.images[: max(len(test) // 3, 50)]
 
     controller = DeltaController(target_mean_ops=budget)
-    engine = InferenceEngine(
-        model=cdln,
-        controller=controller,
-        policy=MicroBatchPolicy(max_batch_size=128),
+    engine = InferenceEngine.from_config(
+        ServingConfig(
+            model=cdln,
+            controller=controller,
+            policy=MicroBatchPolicy(max_batch_size=128),
+        )
     )
     engine.calibrate(warmup)
     responses = engine.classify_many(test.images)

@@ -35,6 +35,7 @@ from repro.obs.trace import (
     read_header,
     read_spans,
     reconcile_ops,
+    reconcile_shed,
     validate_span,
 )
 
@@ -57,5 +58,6 @@ __all__ = [
     "read_header",
     "read_spans",
     "reconcile_ops",
+    "reconcile_shed",
     "validate_span",
 ]

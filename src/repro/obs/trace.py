@@ -200,3 +200,22 @@ def reconcile_ops(spans: Iterable[dict]) -> tuple[float, int]:
     for batch_id in order:
         total += float(np.array(batches[batch_id], dtype=np.float64).sum())
     return total, count
+
+
+def reconcile_shed(spans: Iterable[dict]) -> tuple[int, int]:
+    """Re-derive ``(shed requests, requests)`` from spans.
+
+    The serving engine stamps every span with a boolean ``shed`` field
+    (not part of the v1 required set -- older traces simply count zero).
+    The result must equal :attr:`MetricsSnapshot.shed_requests` /
+    ``requests`` exactly, and the ``loadgen_shed`` benchmark gates that
+    reconciliation against the :class:`~repro.serving.slo.SLOReport` from
+    the same run.
+    """
+    shed = 0
+    count = 0
+    for span in spans:
+        count += 1
+        if span.get("shed"):
+            shed += 1
+    return shed, count

@@ -658,6 +658,7 @@ def replay_drift(
     """
     from repro.serving.adaptive import AdaptiveDeltaPolicy
     from repro.serving.batching import MicroBatchPolicy
+    from repro.serving.config import ServingConfig
     from repro.serving.controller import DeltaController
     from repro.serving.engine import InferenceEngine
 
@@ -686,12 +687,14 @@ def replay_drift(
     adaptive = None
     if operating_table is not None:
         adaptive = AdaptiveDeltaPolicy(operating_table, detector)
-    engine = InferenceEngine(
-        model=cdln,
-        controller=controller,
-        delta=None if controller is not None else delta,
-        policy=MicroBatchPolicy(max_batch_size=stream.batch_size),
-        adaptive=adaptive,
+    engine = InferenceEngine.from_config(
+        ServingConfig(
+            model=cdln,
+            controller=controller,
+            delta=None if controller is not None else delta,
+            policy=MicroBatchPolicy(max_batch_size=stream.batch_size),
+            adaptive=adaptive,
+        )
     )
     overhead_pending = 0.0
     if (

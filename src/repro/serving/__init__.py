@@ -2,14 +2,19 @@
 
 Turns a fitted :class:`~repro.cdl.network.CDLN` into a long-lived
 service: a :class:`ModelRegistry` of named/versioned models, an
-:class:`InferenceEngine` that coalesces single requests into dynamic
+:class:`InferenceEngine` (configured through one declarative
+:class:`ServingConfig`) that coalesces single requests into dynamic
 micro-batches of stage-wise cascade execution, a budget-aware
 :class:`DeltaController` that adapts the runtime threshold to an ops
-budget, :class:`ServingMetrics` tracking throughput, latency
-percentiles, exit-stage histograms and energy, and the adaptive loop
+budget, a :class:`ShedPolicy` that sheds overload to stage-0 early exits
+instead of dropping, :class:`ServingMetrics` tracking throughput,
+latency percentiles, exit-stage histograms and energy, the adaptive loop
 (:class:`DriftDetector` + :class:`OperatingTable` +
 :class:`AdaptiveDeltaPolicy`) that detects distribution drift from live
-signals and retargets δ from precomputed per-regime operating curves.
+signals and retargets δ from precomputed per-regime operating curves,
+and the open-loop load generator (:class:`ArrivalSchedule` +
+:class:`LoadRunner` + :class:`SLOReport`) that measures throughput at a
+tail-latency SLO.
 
 Attribute access is lazy (PEP 562): :mod:`repro.cdl.network` imports the
 shared executor from :mod:`repro.serving.cascade`, so eagerly importing
@@ -19,22 +24,25 @@ the engine modules here would create an import cycle.
 from __future__ import annotations
 
 import importlib
+import warnings
 
 _EXPORTS = {
     "CascadeResult": "repro.serving.cascade",
     "CascadeStageRecord": "repro.serving.cascade",
     "execute_cascade": "repro.serving.cascade",
     "MicroBatchPolicy": "repro.serving.batching",
-    "MicroBatcher": "repro.serving.batching",
     "ModelEntry": "repro.serving.registry",
     "ModelRegistry": "repro.serving.registry",
     "CalibrationPoint": "repro.serving.controller",
     "DeltaCalibration": "repro.serving.controller",
     "DeltaController": "repro.serving.controller",
+    "ShedPolicy": "repro.serving.controller",
     "simulate_exit_stages": "repro.serving.controller",
     "MetricsSnapshot": "repro.serving.metrics",
     "STAGE0_QUANTILE_GRID": "repro.serving.metrics",
     "ServingMetrics": "repro.serving.metrics",
+    "ServingConfig": "repro.serving.config",
+    "AsyncEngine": "repro.serving.engine",
     "AsyncInferenceEngine": "repro.serving.engine",
     "InferenceEngine": "repro.serving.engine",
     "InferenceResponse": "repro.serving.engine",
@@ -50,18 +58,41 @@ _EXPORTS = {
     "fold_exit_fractions": "repro.serving.adaptive",
     "population_stability_index": "repro.serving.adaptive",
     "signature_distance": "repro.serving.adaptive",
+    "Arrival": "repro.serving.schedule",
+    "ArrivalSchedule": "repro.serving.schedule",
+    "LoadRunner": "repro.serving.loadgen",
+    "RequestOutcome": "repro.serving.slo",
+    "SLOReport": "repro.serving.slo",
+}
+
+#: Internals that leaked into the public surface before the API audit.
+#: They resolve for one more release behind a ``DeprecationWarning`` but
+#: are no longer in ``__all__`` / ``dir()`` -- import from the defining
+#: module instead.
+_DEPRECATED_EXPORTS = {
+    "MicroBatcher": "repro.serving.batching",
 }
 
 __all__ = sorted(_EXPORTS)
 
 
 def __getattr__(name: str):
-    try:
-        module_name = _EXPORTS[name]
-    except KeyError:
-        raise AttributeError(
-            f"module {__name__!r} has no attribute {name!r}"
-        ) from None
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        module_name = _DEPRECATED_EXPORTS.get(name)
+        if module_name is None:
+            raise AttributeError(
+                f"module {__name__!r} has no attribute {name!r}"
+            ) from None
+        warnings.warn(
+            f"importing {name} from repro.serving is deprecated (it is an "
+            f"internal); import it from {module_name} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Deliberately NOT cached in globals(): the warning must fire on
+        # every access so no new call site quietly depends on the leak.
+        return getattr(importlib.import_module(module_name), name)
     value = getattr(importlib.import_module(module_name), name)
     globals()[name] = value
     return value

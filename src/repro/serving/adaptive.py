@@ -785,7 +785,7 @@ class RetargetEvent:
 class AdaptiveDeltaPolicy:
     """Detector → table-match → retarget, wired into the engine's batch loop.
 
-    Install via ``InferenceEngine(..., adaptive=policy)``.  After every
+    Install via ``ServingConfig(..., adaptive=policy)``.  After every
     served micro-batch the engine calls :meth:`after_batch`; when the
     detector fires, the observed window signature is matched against the
     operating table at the *current* (δ, depth cap) operating point, the

@@ -50,15 +50,27 @@ class MicroBatchPolicy:
 
 
 class MicroBatcher:
-    """A FIFO of pending work items chunked by a :class:`MicroBatchPolicy`."""
+    """Pending work items chunked by a :class:`MicroBatchPolicy`.
+
+    Items are FIFO within a priority class; classes dispatch
+    highest-priority-first.  An item's class is its ``priority``
+    attribute (``0`` when absent), so plain FIFO callers are unaffected
+    -- everything lands in class 0 and pops in insertion order.  Under
+    backlog this is what makes a request's ``priority`` knob real: a
+    late high-priority arrival boards the next dispatched batch ahead of
+    the queued bulk traffic.
+    """
 
     def __init__(self, policy: MicroBatchPolicy | None = None) -> None:
         self.policy = policy or MicroBatchPolicy()
-        self._pending: deque[Any] = deque()
+        #: priority -> FIFO of items; keys kept sorted descending.
+        self._classes: dict[int, deque[Any]] = {}
+        self._priorities: list[int] = []
+        self._size = 0
         self._peak_pending = 0
 
     def __len__(self) -> int:
-        return len(self._pending)
+        return self._size
 
     @property
     def peak_pending(self) -> int:
@@ -66,19 +78,36 @@ class MicroBatcher:
         return self._peak_pending
 
     def add(self, item: Any) -> None:
-        self._pending.append(item)
-        if len(self._pending) > self._peak_pending:
-            self._peak_pending = len(self._pending)
+        priority = int(getattr(item, "priority", 0))
+        pending = self._classes.get(priority)
+        if pending is None:
+            pending = self._classes[priority] = deque()
+            self._priorities = sorted(self._classes, reverse=True)
+        pending.append(item)
+        self._size += 1
+        if self._size > self._peak_pending:
+            self._peak_pending = self._size
 
     def next_batch(self) -> list[Any]:
-        """Pop up to ``max_batch_size`` items (empty list when idle)."""
-        size = min(len(self._pending), self.policy.max_batch_size)
-        return [self._pending.popleft() for _ in range(size)]
+        """Pop up to ``max_batch_size`` items (empty list when idle).
+
+        Highest priority class first, FIFO within a class.
+        """
+        batch: list[Any] = []
+        budget = min(self._size, self.policy.max_batch_size)
+        for priority in self._priorities:
+            pending = self._classes[priority]
+            while pending and len(batch) < budget:
+                batch.append(pending.popleft())
+            if len(batch) == budget:
+                break
+        self._size -= len(batch)
+        return batch
 
     def drain(self) -> list[list[Any]]:
         """Pop everything pending as a list of policy-sized batches."""
         batches = []
-        while self._pending:
+        while self._size:
             batches.append(self.next_batch())
         return batches
 

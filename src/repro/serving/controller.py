@@ -40,6 +40,64 @@ _log = get_logger("serving.controller")
 _DEFAULT_GRID = tuple(np.round(np.linspace(0.02, 0.98, 49), 4))
 
 
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Backpressure: when to shed a micro-batch to a stage-0 early exit.
+
+    Load shedding here never *drops* a request -- a shed batch is served
+    with the cascade force-terminated at stage 0 (the cheapest exit that
+    still produces a label), so overload trades answer quality for
+    bounded queueing delay instead of trading availability.  The engine
+    consults :meth:`should_shed` once per dispatched micro-batch with the
+    queue depth at dispatch and (when it has a service-time estimate) the
+    predicted queue wait.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Shed while more than this many requests are waiting at dispatch
+        (the dispatched batch plus the still-queued backlog).  Depth is
+        an exact, deterministic signal -- the one the simulated load
+        runner and the gated benchmarks use.
+    max_predicted_wait_s:
+        Shed while ``queue_depth x EWMA(per-request service seconds)``
+        exceeds this bound.  Wall-clock based, so only meaningful for
+        real-time serving; leave ``None`` for deterministic replays.
+    """
+
+    max_queue_depth: int | None = None
+    max_predicted_wait_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is None and self.max_predicted_wait_s is None:
+            raise ConfigurationError(
+                "ShedPolicy needs max_queue_depth and/or max_predicted_wait_s"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_predicted_wait_s is not None and not self.max_predicted_wait_s > 0:
+            raise ConfigurationError(
+                f"max_predicted_wait_s must be > 0, got {self.max_predicted_wait_s}"
+            )
+
+    def should_shed(
+        self, *, queue_depth: int, predicted_wait_s: float | None = None
+    ) -> bool:
+        """True when this dispatch should be served at stage 0."""
+        if (
+            self.max_queue_depth is not None
+            and queue_depth > self.max_queue_depth
+        ):
+            return True
+        return (
+            self.max_predicted_wait_s is not None
+            and predicted_wait_s is not None
+            and predicted_wait_s > self.max_predicted_wait_s
+        )
+
+
 def simulate_exit_stages(
     stage_scores: list[np.ndarray],
     activation_module,

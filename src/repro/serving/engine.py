@@ -11,13 +11,34 @@ energy (pJ) from the model's warm cost tables, and an optional
 :class:`~repro.serving.controller.DeltaController` adapts the runtime
 threshold between batches to hold an ops budget.
 
-Two entry styles:
+Construction goes through one declarative object --
+:class:`~repro.serving.config.ServingConfig` +
+:meth:`InferenceEngine.from_config`; the legacy per-knob keywords still
+work for one release behind a ``DeprecationWarning``.
 
-* synchronous, in-process -- ``submit()`` + ``flush()`` (or the
-  ``classify`` / ``classify_many`` shortcuts); no threads involved.
-* :class:`AsyncInferenceEngine` -- a worker-thread facade whose ``submit``
-  returns immediately; the worker drains a queue under the micro-batch
-  policy (dispatching when the batch fills or ``max_wait_s`` elapses).
+Two facades share one request contract:
+
+=====================  ==========================  ==========================
+,                      ``InferenceEngine``         ``AsyncEngine``
+=====================  ==========================  ==========================
+threading              none (in-process)           one worker thread
+``submit(image, *,     enqueue; answered on the    enqueue; answered as soon
+deadline_s, priority)``  next ``flush()``          as the worker dispatches
+returns                :class:`Ticket`             :class:`Ticket` (same type)
+``Ticket.result(       response if resolved,       blocks up to ``timeout``
+timeout=)``            else ``TimeoutError``       then ``TimeoutError``
+batch formation        shared priority-aware       same batcher, fed by the
+,                      ``MicroBatcher``            worker's queue collector
+``deadline_s``         stamps                      identical
+,                      ``deadline_missed``         ,
+``priority``           higher boards earlier       identical
+,                      batches under backlog       ,
+=====================  ==========================  ==========================
+
+``deadline_s`` never drops work: a late answer is still delivered, just
+flagged (``InferenceResponse.deadline_missed``) so goodput accounting --
+:class:`~repro.serving.slo.SLOReport` -- can separate answered-in-time
+from merely answered.
 """
 
 from __future__ import annotations
@@ -25,6 +46,7 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -34,6 +56,7 @@ from repro.errors import ConfigurationError, ShapeError
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.serving.batching import MicroBatcher, MicroBatchPolicy, collect_from_queue
 from repro.serving.cascade import execute_cascade
+from repro.serving.config import ServingConfig
 from repro.serving.controller import DeltaController
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelEntry, ModelRegistry
@@ -72,6 +95,13 @@ class InferenceResponse:
     model_spec: str
     batch_size: int
     latency_s: float
+    #: Seconds the request waited in the queue before its batch dispatched.
+    queue_wait_s: float = 0.0
+    #: True when backpressure served this request at a stage-0 early exit.
+    shed: bool = False
+    #: True when the request carried a ``deadline_s`` and the answer came
+    #: back later than that (wall clock).  The answer is still delivered.
+    deadline_missed: bool = False
 
 
 class Ticket:
@@ -107,50 +137,45 @@ class _Pending:
     image: np.ndarray
     ticket: Ticket
     enqueued_at: float
+    #: Client latency deadline in seconds from submission (None: no deadline).
+    deadline_s: float | None = None
+    #: Dispatch priority; higher boards earlier batches under backlog.
+    priority: int = 0
 
 
 class InferenceEngine:
     """Synchronous in-process serving of one registered model.
 
-    Parameters
-    ----------
-    model:
-        A fitted CDLN or TrainedCdl; registered as ``"default"`` in a
-        fresh registry.  Mutually exclusive with ``registry``.
-    registry:
-        An existing :class:`ModelRegistry`; ``model_spec`` picks the entry.
-    model_spec:
-        ``"name"`` or ``"name:version"`` to serve from the registry.
-    policy:
-        Micro-batch dispatch policy.
-    controller:
-        Optional budget-aware delta controller.  With a soft target it is
-        calibrated lazily on the first micro-batch unless
-        :meth:`calibrate` was called with a proper sample first.
-    delta:
-        Fixed runtime threshold when no controller is installed (defaults
-        to the model's activation-module delta).
-    adaptive:
-        Optional :class:`~repro.serving.adaptive.AdaptiveDeltaPolicy`.
-        Requires a ``controller`` with a soft target; the engine primes
-        the policy (initial regime retarget -- no lazy calibration pass
-        needed) and feeds its drift detector after every dispatched
-        micro-batch, retargeting δ from the operating table when the
-        detector fires.
-    observer:
-        Optional :class:`~repro.obs.observer.Observer` bundling the span
-        trace, metrics registry and event log.  Defaults to the no-op
-        :data:`~repro.obs.observer.NULL_OBSERVER`; the handle is also
-        propagated onto the registry, the served entry, the controller
-        and the adaptive policy's detector (wherever those still hold the
-        null observer), so one constructor argument instruments the whole
-        stack.
+    Construct from a :class:`~repro.serving.config.ServingConfig` --
+    every knob (model/registry, micro-batch policy, controller, fixed
+    delta, adaptive policy, shed policy, observer) is a config field and
+    the cross-field invariants are validated in
+    :meth:`ServingConfig.validate`, in one place::
+
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained, delta=0.6)
+        )
+
+    ``InferenceEngine(model)`` stays as sugar for the one-field config.
+    The seven pre-config keyword knobs (``registry``, ``model_spec``,
+    ``policy``, ``controller``, ``delta``, ``adaptive``, ``observer``)
+    still work for one release and emit a ``DeprecationWarning``; new
+    knobs (``shed``) exist only on the config.
+
+    See the module docstring for the request API table shared with
+    :class:`AsyncEngine`.
     """
+
+    _LEGACY_KNOBS = (
+        "registry", "model_spec", "policy", "controller", "delta",
+        "adaptive", "observer",
+    )
 
     def __init__(
         self,
         model=None,
         *,
+        config: ServingConfig | None = None,
         registry: ModelRegistry | None = None,
         model_spec: str = "default",
         policy: MicroBatchPolicy | None = None,
@@ -159,30 +184,53 @@ class InferenceEngine:
         adaptive=None,
         observer: Observer | None = None,
     ) -> None:
-        if (model is None) == (registry is None):
-            raise ConfigurationError(
-                "pass exactly one of `model` (a fitted CDLN / TrainedCdl) "
-                "or `registry`"
-            )
-        if adaptive is not None and (
-            controller is None or controller.target_mean_ops is None
-        ):
-            raise ConfigurationError(
-                "adaptive serving needs a DeltaController with a soft "
-                "target_mean_ops (the operating table is a mean-OPS curve)"
-            )
-        self.observer = observer if observer is not None else NULL_OBSERVER
+        legacy = {
+            "registry": registry,
+            "model_spec": model_spec,
+            "policy": policy,
+            "controller": controller,
+            "delta": delta,
+            "adaptive": adaptive,
+            "observer": observer,
+        }
+        defaults = {name: None for name in self._LEGACY_KNOBS}
+        defaults["model_spec"] = "default"
+        used_legacy = [
+            name for name in self._LEGACY_KNOBS if legacy[name] != defaults[name]
+        ]
+        if config is not None:
+            if model is not None or used_legacy:
+                raise ConfigurationError(
+                    "pass either `config` or individual knobs, not both "
+                    f"(got config plus {['model'] * (model is not None) + used_legacy})"
+                )
+        else:
+            if used_legacy:
+                warnings.warn(
+                    "InferenceEngine's per-knob keywords "
+                    f"({', '.join(used_legacy)}) are deprecated; build a "
+                    "ServingConfig and use InferenceEngine.from_config(cfg) "
+                    "(or InferenceEngine(config=cfg))",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = ServingConfig(model=model, **legacy)
+        cfg = config.build()
+        self.config = cfg
+        self.observer = cfg.observer
+        registry = cfg.registry
         if registry is None:
             registry = ModelRegistry(observer=self.observer)
-            registry.register("default", model)
+            registry.register("default", cfg.model)
         elif registry.observer is NULL_OBSERVER:
             registry.observer = self.observer
         self.registry = registry
-        self.policy = policy or MicroBatchPolicy()
-        self.controller = controller
-        self.delta = delta
-        self.adaptive = adaptive
-        self._entry: ModelEntry = registry.resolve(model_spec)
+        self.policy = cfg.policy
+        self.controller = cfg.controller
+        self.delta = cfg.delta
+        self.adaptive = cfg.adaptive
+        self.shed = cfg.shed
+        self._entry: ModelEntry = registry.resolve(cfg.model_spec)
         # Bind telemetry BEFORE warming/priming so the warm-up and the
         # initial retarget land in the event log.
         self._bind_observer(self._entry)
@@ -193,8 +241,16 @@ class InferenceEngine:
         self._batch_ids = itertools.count()
         self._lock = threading.Lock()
         self._warned_uncalibrated = False
-        if adaptive is not None:
-            adaptive.prime(self)
+        #: EWMA of per-request service seconds (drives predicted-wait shedding).
+        self._service_ewma_s: float | None = None
+        self._shedding = False
+        if cfg.adaptive is not None:
+            cfg.adaptive.prime(self)
+
+    @classmethod
+    def from_config(cls, config: ServingConfig) -> "InferenceEngine":
+        """The one construction path: validate ``config`` and build."""
+        return cls(config=config)
 
     def _bind_observer(self, entry: ModelEntry) -> None:
         """Propagate the engine's observer onto every collaborator that
@@ -265,18 +321,43 @@ class InferenceEngine:
             f"image must have shape {expected} or {(1, *expected)}, got {image.shape}"
         )
 
-    def submit(self, image: np.ndarray) -> Ticket:
-        """Enqueue one request; answers arrive on the next ``flush()``."""
-        pending = self._make_pending(image)
+    def submit(
+        self,
+        image: np.ndarray,
+        *,
+        deadline_s: float | None = None,
+        priority: int = 0,
+    ) -> Ticket:
+        """Enqueue one request; answers arrive on the next ``flush()``.
+
+        ``deadline_s`` (seconds from now) marks the answer
+        ``deadline_missed`` when it resolves later than that -- the
+        request is never dropped.  ``priority`` orders dispatch under
+        backlog (higher first, FIFO within a class).  Same contract as
+        :meth:`AsyncEngine.submit` -- see the module API table.
+        """
+        pending = self._make_pending(image, deadline_s=deadline_s, priority=priority)
         with self._lock:
             self._batcher.add(pending)
         return pending.ticket
 
-    def _make_pending(self, image: np.ndarray) -> _Pending:
+    def _make_pending(
+        self,
+        image: np.ndarray,
+        *,
+        deadline_s: float | None = None,
+        priority: int = 0,
+    ) -> _Pending:
+        if deadline_s is not None and not deadline_s > 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0 seconds, got {deadline_s}"
+            )
         return _Pending(
             image=self._coerce_image(image),
             ticket=Ticket(next(self._ids)),
             enqueued_at=perf_counter(),
+            deadline_s=deadline_s,
+            priority=int(priority),
         )
 
     def pending_count(self) -> int:
@@ -351,6 +432,27 @@ class InferenceEngine:
         else:
             delta = self.delta
             max_stage = None
+        shed = False
+        if self.shed is not None and queue_depth is not None:
+            predicted_wait = (
+                queue_depth * self._service_ewma_s
+                if self._service_ewma_s is not None
+                else None
+            )
+            shed = self.shed.should_shed(
+                queue_depth=queue_depth, predicted_wait_s=predicted_wait
+            )
+        if shed:
+            # Backpressure: serve the whole batch at the cheapest exit.
+            # Never drops -- every ticket still resolves with a label.
+            max_stage = 0
+        if shed != self._shedding:
+            self._shedding = shed
+            observer.event(
+                "shed_engaged" if shed else "shed_released",
+                queue_depth=queue_depth,
+                batch_size=len(batch),
+            )
         # The adaptive drift signal needs stage-0 confidences for *every*
         # request; stage records hold views, so recording them is cheap.
         record_stages = self.adaptive is not None
@@ -375,6 +477,12 @@ class InferenceEngine:
         latencies = np.array(
             [now - p.enqueued_at for p in batch], dtype=np.float64
         )
+        service_per_request = (now - dispatched_at) / len(batch)
+        self._service_ewma_s = (
+            service_per_request
+            if self._service_ewma_s is None
+            else 0.8 * self._service_ewma_s + 0.2 * service_per_request
+        )
         for i, pending in enumerate(batch):
             stage = int(result.exit_stages[i])
             pending.ticket._resolve(
@@ -390,6 +498,12 @@ class InferenceEngine:
                     model_spec=entry.spec,
                     batch_size=len(batch),
                     latency_s=float(latencies[i]),
+                    queue_wait_s=dispatched_at - pending.enqueued_at,
+                    shed=shed,
+                    deadline_missed=(
+                        pending.deadline_s is not None
+                        and float(latencies[i]) > pending.deadline_s
+                    ),
                 )
             )
         metrics.record_batch(
@@ -399,6 +513,7 @@ class InferenceEngine:
             energies_pj=energies,
             stage0_confidences=stage0_confidences,
             queue_depth=queue_depth,
+            shed=shed,
         )
         if observer.enabled:
             self._emit_batch_telemetry(
@@ -412,6 +527,7 @@ class InferenceEngine:
                 effective_delta=float(effective_delta),
                 max_stage=max_stage,
                 queue_depth=queue_depth,
+                shed=shed,
             )
         if controller is not None:
             controller.observe(float(ops.mean()), len(batch))
@@ -433,6 +549,7 @@ class InferenceEngine:
         effective_delta: float,
         max_stage: int | None,
         queue_depth: int | None,
+        shed: bool,
     ) -> None:
         """Fold one dispatched batch into the observer's three sinks.
 
@@ -464,6 +581,11 @@ class InferenceEngine:
             "energy_pj_total", float(energies.sum()),
             "Energy (pJ) paid across answered requests.",
         )
+        if shed:
+            observer.inc(
+                "requests_shed_total", float(len(batch)),
+                "Requests served at a stage-0 early exit by backpressure.",
+            )
         observer.set_gauge(
             "delta", effective_delta,
             "Runtime confidence threshold currently in force.",
@@ -477,7 +599,9 @@ class InferenceEngine:
                 "queue_depth", float(queue_depth),
                 "Queue depth at dispatch (batch plus still-waiting).",
             )
-        if result.forced_exits:
+        # A shed batch force-exits by design; hard_cap_trip stays the
+        # budget-cap signal and must not fire for backpressure exits.
+        if result.forced_exits and not shed:
             observer.event(
                 "hard_cap_trip",
                 model_spec=entry.spec,
@@ -518,6 +642,7 @@ class InferenceEngine:
                     # span-level reconciliation invariant depends on it.
                     "ops": float(ops[i]),
                     "energy_pj": float(energies[i]),
+                    "shed": shed,
                     "stages": stages_payload,
                 }
             )
@@ -529,15 +654,18 @@ class InferenceEngine:
         )
 
 
-class AsyncInferenceEngine:
+class AsyncEngine:
     """Worker-thread facade over an :class:`InferenceEngine`.
 
     ``submit`` returns a :class:`Ticket` immediately from any thread; a
-    single background worker coalesces the queue under the engine's
-    micro-batch policy (batch fills or ``max_wait_s`` elapses) and
-    dispatches.  Use as a context manager::
+    single background worker moves the transport queue into the engine's
+    priority-aware :class:`~repro.serving.batching.MicroBatcher` under
+    the micro-batch policy (batch fills or ``max_wait_s`` elapses) and
+    dispatches.  The request contract (``deadline_s``, ``priority``,
+    :class:`Ticket` semantics) is identical to the synchronous engine --
+    see the module API table.  Use as a context manager::
 
-        with AsyncInferenceEngine(engine) as server:
+        with AsyncEngine(engine) as server:
             tickets = [server.submit(img) for img in images]
             answers = [t.result(timeout=5.0) for t in tickets]
     """
@@ -551,7 +679,15 @@ class AsyncInferenceEngine:
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
 
-    def start(self) -> "AsyncInferenceEngine":
+    def queue_depth(self) -> int:
+        """Requests waiting right now (transport queue + batcher backlog).
+
+        Approximate under concurrency -- ``qsize`` races submitters --
+        which is fine for backpressure signals and telemetry sampling.
+        """
+        return self._queue.qsize() + self.engine.pending_count()
+
+    def start(self) -> "AsyncEngine":
         if self.running:
             raise ConfigurationError("async engine is already running")
         self._thread = threading.Thread(
@@ -595,28 +731,56 @@ class AsyncInferenceEngine:
             except queue.Empty:
                 break
 
-    def submit(self, image: np.ndarray) -> Ticket:
+    def submit(
+        self,
+        image: np.ndarray,
+        *,
+        deadline_s: float | None = None,
+        priority: int = 0,
+    ) -> Ticket:
+        """Enqueue one request from any thread; same contract as
+        :meth:`InferenceEngine.submit` (see the module API table)."""
         if not self.running:
             raise ConfigurationError("async engine is not running; call start()")
-        pending = self.engine._make_pending(image)
+        pending = self.engine._make_pending(
+            image, deadline_s=deadline_s, priority=priority
+        )
         self._queue.put(pending)
         return pending.ticket
 
     def _run(self) -> None:
+        engine = self.engine
         while True:
-            batch = collect_from_queue(self._queue, self.engine.policy)
-            if batch is None:
+            items = collect_from_queue(self._queue, engine.policy)
+            if items is None:
                 continue  # idle poll; loop so stop() can interleave
-            if not batch:
+            if not items:
                 return  # sentinel: shut down
-            self.engine._process_batch(
-                # qsize() is approximate under concurrency, which is fine
-                # for a telemetry high-water mark.
-                batch, queue_depth=len(batch) + self._queue.qsize()
-            )
+            # Batch formation lives in the engine's priority-aware
+            # batcher -- the transport queue is FIFO plumbing only, so
+            # sync and async requests obey one ordering policy.
+            with engine._lock:
+                for item in items:
+                    engine._batcher.add(item)
+            while True:
+                with engine._lock:
+                    batch = engine._batcher.next_batch()
+                    # qsize() is approximate under concurrency, which is
+                    # fine for backpressure and a telemetry high-water mark.
+                    depth = (
+                        len(batch) + len(engine._batcher) + self._queue.qsize()
+                    )
+                if not batch:
+                    break
+                engine._process_batch(batch, queue_depth=depth)
 
-    def __enter__(self) -> "AsyncInferenceEngine":
+    def __enter__(self) -> "AsyncEngine":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+
+#: Pre-redesign name for :class:`AsyncEngine`; kept as a plain alias (the
+#: class is unchanged, only the canonical name moved).
+AsyncInferenceEngine = AsyncEngine

@@ -1,0 +1,513 @@
+"""Open-loop, trace-driven load generation against the serving engine.
+
+:class:`LoadRunner` fires the arrivals of an
+:class:`~repro.serving.schedule.ArrivalSchedule` at the engine and folds
+the answers into an :class:`~repro.serving.slo.SLOReport`.  Two
+execution modes share everything but the clock:
+
+:meth:`LoadRunner.simulate`
+    Virtual time.  The *real* cascade runs for every request -- exit
+    stages, OPS/energy, shed decisions, controller feedback, spans and
+    metrics are all genuine -- but service time is derived from the
+    measured cascade cost (``batch OPS / ops_per_second``) instead of the
+    wall clock, and queueing is replayed analytically under the engine's
+    own micro-batch policy.  Same model + schedule + seed => the
+    identical report, which is what the determinism tests and the gated
+    ``serving_slo_tiny`` / ``loadgen_shed`` benchmarks pin.
+:meth:`LoadRunner.run`
+    Wall clock.  Arrivals are paced by real sleeps into an
+    :class:`~repro.serving.engine.AsyncEngine` worker; latencies are
+    measured, not modeled.  Use this to measure an actual deployment.
+
+Both modes are *open loop*: arrival times come from the schedule alone,
+never from completions, so an overloaded server shows up as queueing
+delay instead of being hidden by coordinated omission.
+
+The CLI front end (``python -m repro.serving.loadgen``) trains the tiny
+reference cascade and runs a schedule against it::
+
+    python -m repro.serving.loadgen run --schedule poisson --rate 500 \\
+        --duration 4 --slo-p99 0.05
+    python -m repro.serving.loadgen run --schedule bursty --rate 300 \\
+        --burst-factor 4 --shed-depth 256 --slo-p99 0.1 --deadline 0.1
+    python -m repro.serving.loadgen plan --schedule diurnal --rate 100 \\
+        --peak-rate 400 --period 60 --duration 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from time import perf_counter, sleep
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serving.engine import AsyncEngine, InferenceEngine
+from repro.serving.schedule import Arrival, ArrivalSchedule
+from repro.serving.slo import RequestOutcome, SLOReport
+from repro.utils.logging import get_logger
+
+_log = get_logger("serving.loadgen")
+
+
+class LoadRunner:
+    """Drives one engine with one schedule's arrivals.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.serving.engine.InferenceEngine` under test
+        (its micro-batch policy, controller, and shed policy all apply).
+    schedule:
+        The arrival process; materialized once per run.
+    images:
+        Request payload pool, ``(N, *input_shape)``.  Request ``i`` of
+        the trace serves ``pool[i % len(pool)]`` -- deterministic, no
+        extra RNG.
+    scenario_pools:
+        Optional per-scenario payload pools keyed by scenario name; an
+        arrival tagged ``scenario="fog@0.6"`` draws from
+        ``scenario_pools["fog@0.6"]``.  Untagged arrivals (and tags with
+        no pool) fall back to ``images``.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        schedule: ArrivalSchedule,
+        images: np.ndarray,
+        *,
+        scenario_pools: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        if len(images) == 0:
+            raise ConfigurationError("images pool must not be empty")
+        self.engine = engine
+        self.schedule = schedule
+        self.images = images
+        #: Outcomes of the most recent ``simulate()`` / ``run()`` call,
+        #: in request-id order -- the raw records behind the report.
+        self.last_outcomes: tuple[RequestOutcome, ...] = ()
+        self.scenario_pools = dict(scenario_pools or {})
+        for name, pool in self.scenario_pools.items():
+            if len(pool) == 0:
+                raise ConfigurationError(
+                    f"scenario pool {name!r} must not be empty"
+                )
+
+    def _payload(self, index: int, arrival: Arrival) -> np.ndarray:
+        pool = self.images
+        if arrival.scenario is not None:
+            pool = self.scenario_pools.get(arrival.scenario, self.images)
+        return pool[index % len(pool)]
+
+    # -- virtual-time mode -----------------------------------------------------
+    def simulate(
+        self,
+        *,
+        ops_per_second: float,
+        slo_p99_s: float,
+    ) -> SLOReport:
+        """Replay the schedule in virtual time (deterministic).
+
+        ``ops_per_second`` is the modeled service capacity: a dispatched
+        micro-batch occupies the (single) server for
+        ``sum(request OPS) / ops_per_second`` virtual seconds, where the
+        OPS are the *measured* exit-path costs of actually running the
+        cascade on the batch.  Queueing follows the engine's own
+        micro-batch policy: a batch dispatches when ``max_batch_size``
+        requests are waiting or ``max_wait_s`` has passed since the
+        window opened, priority classes board first, and the engine's
+        shed policy sees the true virtual queue depth and predicted wait.
+        """
+        if not ops_per_second > 0:
+            raise ConfigurationError(
+                f"ops_per_second must be > 0, got {ops_per_second}"
+            )
+        arrivals = self.schedule.materialize()
+        if not arrivals:
+            raise ConfigurationError(
+                "schedule materialized zero arrivals; raise the rate or "
+                "duration"
+            )
+        engine = self.engine
+        policy = engine.policy
+        max_batch = policy.max_batch_size
+        outcomes: list[RequestOutcome] = []
+        timeline: list[tuple[float, int]] = []
+        #: indices into ``arrivals`` waiting for the server.
+        queued: list[int] = []
+        i = 0
+        n = len(arrivals)
+        server_free = 0.0
+        service_ewma: float | None = None
+        while i < n or queued:
+            if queued:
+                now = server_free
+            else:
+                now = max(server_free, arrivals[i].t)
+            while i < n and arrivals[i].t <= now:
+                queued.append(i)
+                i += 1
+            if len(queued) < max_batch:
+                # Window stays open up to max_wait_s for the batch to fill.
+                close = now + policy.max_wait_s
+                while i < n and arrivals[i].t <= close and len(queued) < max_batch:
+                    queued.append(i)
+                    now = arrivals[i].t
+                    i += 1
+                if len(queued) < max_batch:
+                    now = close
+            depth = len(queued)
+            # Priority classes board first, FIFO within a class -- the
+            # same ordering MicroBatcher applies on the real path.
+            queued.sort(key=lambda idx: (-arrivals[idx].priority, idx))
+            members = queued[:max_batch]
+            queued = sorted(queued[max_batch:])
+            batch = [
+                engine._make_pending(
+                    self._payload(idx, arrivals[idx]),
+                    deadline_s=arrivals[idx].deadline_s,
+                    priority=arrivals[idx].priority,
+                )
+                for idx in members
+            ]
+            # Feed the shed policy the *virtual* service estimate so
+            # predicted-wait triggers are deterministic too (the engine
+            # would otherwise use its wall-clock EWMA).
+            engine._service_ewma_s = service_ewma
+            engine._process_batch(batch, queue_depth=depth)
+            responses = [p.ticket.result(timeout=0) for p in batch]
+            service_s = sum(r.ops for r in responses) / ops_per_second
+            timeline.append((now, depth))
+            server_free = now + service_s
+            per_request = service_s / len(batch)
+            service_ewma = (
+                per_request
+                if service_ewma is None
+                else 0.8 * service_ewma + 0.2 * per_request
+            )
+            for idx, response in zip(members, responses):
+                arrival = arrivals[idx]
+                latency = server_free - arrival.t
+                outcomes.append(
+                    RequestOutcome(
+                        request_id=response.request_id,
+                        arrival_s=arrival.t,
+                        queue_wait_s=now - arrival.t,
+                        latency_s=latency,
+                        exit_stage=response.exit_stage,
+                        ops=response.ops,
+                        energy_pj=response.energy_pj,
+                        shed=response.shed,
+                        deadline_s=arrival.deadline_s,
+                        deadline_met=(
+                            arrival.deadline_s is None
+                            or latency <= arrival.deadline_s
+                        ),
+                        scenario=arrival.scenario,
+                        priority=arrival.priority,
+                    )
+                )
+        outcomes.sort(key=lambda o: o.request_id)
+        self.last_outcomes = tuple(outcomes)
+        return SLOReport.from_outcomes(
+            outcomes,
+            slo_p99_s=slo_p99_s,
+            requests=len(arrivals),
+            offered_span_s=self.schedule.duration_s,
+            queue_depth_timeline=timeline,
+        )
+
+    # -- wall-clock mode -------------------------------------------------------
+    def run(
+        self,
+        *,
+        slo_p99_s: float,
+        result_timeout_s: float = 30.0,
+        server: AsyncEngine | None = None,
+    ) -> SLOReport:
+        """Fire the schedule in real time through an async worker.
+
+        Arrivals are paced with real sleeps (an arrival that falls behind
+        fires immediately -- open loop, never rescheduled); latencies,
+        queue waits, and deadline verdicts come from the engine's wall
+        clocks.  Pass a running ``server`` to reuse one, otherwise a
+        worker is started and stopped around the run.  A ticket that
+        fails to resolve within ``result_timeout_s`` counts as dropped
+        (with this engine that indicates a harness bug, and the report
+        will show it rather than hide it).
+        """
+        arrivals = self.schedule.materialize()
+        if not arrivals:
+            raise ConfigurationError(
+                "schedule materialized zero arrivals; raise the rate or "
+                "duration"
+            )
+        own_server = server is None
+        if server is None:
+            server = AsyncEngine(self.engine).start()
+        elif not server.running:
+            raise ConfigurationError("server must be running (call start())")
+        tickets = []
+        timeline: list[tuple[float, int]] = []
+        try:
+            t0 = perf_counter()
+            for index, arrival in enumerate(arrivals):
+                delay = arrival.t - (perf_counter() - t0)
+                if delay > 0:
+                    sleep(delay)
+                ticket = server.submit(
+                    self._payload(index, arrival),
+                    deadline_s=arrival.deadline_s,
+                    priority=arrival.priority,
+                )
+                tickets.append((arrival, ticket))
+                timeline.append(
+                    (perf_counter() - t0, server.queue_depth())
+                )
+            outcomes: list[RequestOutcome] = []
+            for arrival, ticket in tickets:
+                try:
+                    response = ticket.result(timeout=result_timeout_s)
+                except TimeoutError:
+                    _log.warning(
+                        "request %d never resolved (dropped)",
+                        ticket.request_id,
+                    )
+                    continue
+                outcomes.append(
+                    RequestOutcome(
+                        request_id=response.request_id,
+                        arrival_s=arrival.t,
+                        queue_wait_s=response.queue_wait_s,
+                        latency_s=response.latency_s,
+                        exit_stage=response.exit_stage,
+                        ops=response.ops,
+                        energy_pj=response.energy_pj,
+                        shed=response.shed,
+                        deadline_s=arrival.deadline_s,
+                        deadline_met=not response.deadline_missed,
+                        scenario=arrival.scenario,
+                        priority=arrival.priority,
+                    )
+                )
+        finally:
+            if own_server:
+                server.stop()
+        if not outcomes:
+            raise ConfigurationError(
+                "no request resolved within the result timeout"
+            )
+        self.last_outcomes = tuple(outcomes)
+        return SLOReport.from_outcomes(
+            outcomes,
+            slo_p99_s=slo_p99_s,
+            requests=len(arrivals),
+            offered_span_s=self.schedule.duration_s,
+            queue_depth_timeline=timeline,
+        )
+
+
+# -- CLI -----------------------------------------------------------------------
+def _schedule_from_args(args: argparse.Namespace) -> ArrivalSchedule:
+    common = dict(
+        rate_rps=args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+        deadline_s=args.deadline,
+    )
+    if args.schedule == "poisson":
+        return ArrivalSchedule.poisson(**common)
+    if args.schedule == "diurnal":
+        if args.peak_rate is None or args.period is None:
+            raise ConfigurationError(
+                "diurnal schedules need --peak-rate and --period"
+            )
+        return ArrivalSchedule.diurnal(
+            peak_rate_rps=args.peak_rate, period_s=args.period, **common
+        )
+    if args.schedule == "bursty":
+        return ArrivalSchedule.bursty(
+            burst_factor=args.burst_factor,
+            burst_start_s=args.burst_start,
+            burst_duration_s=(
+                args.burst_duration
+                if args.burst_duration is not None
+                else args.duration / 4
+            ),
+            **common,
+        )
+    if args.schedule == "replay":
+        if args.trace is None:
+            raise ConfigurationError("replay schedules need --trace FILE")
+        return ArrivalSchedule.from_jsonl(args.trace)
+    raise ConfigurationError(f"unknown schedule kind {args.schedule!r}")
+
+
+def _add_schedule_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--schedule",
+        choices=("poisson", "diurnal", "bursty", "replay"),
+        default="poisson",
+        help="arrival shape (default: poisson)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=200.0,
+        help="base arrival rate, req/s (default: 200)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=4.0,
+        help="schedule span, seconds (default: 4)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="schedule RNG seed (default: 0)"
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline, seconds (default: none)",
+    )
+    parser.add_argument(
+        "--peak-rate", type=float, default=None,
+        help="diurnal crest rate, req/s",
+    )
+    parser.add_argument(
+        "--period", type=float, default=None, help="diurnal period, seconds"
+    )
+    parser.add_argument(
+        "--burst-factor", type=float, default=4.0,
+        help="bursty overload multiplier (default: 4)",
+    )
+    parser.add_argument(
+        "--burst-start", type=float, default=1.0,
+        help="bursty window start, seconds (default: 1)",
+    )
+    parser.add_argument(
+        "--burst-duration", type=float, default=None,
+        help="bursty window length, seconds (default: duration/4)",
+    )
+    parser.add_argument(
+        "--trace", default=None, help="JSONL arrival trace for --schedule replay"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.loadgen",
+        description=(
+            "Open-loop load generation against the tiny reference cascade: "
+            "schedule arrivals, measure tail latency, report throughput at "
+            "a p99 SLO and goodput under deadlines."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="materialize a schedule and drive the engine with it"
+    )
+    _add_schedule_args(run)
+    run.add_argument(
+        "--slo-p99", type=float, required=True,
+        help="p99 latency target, seconds (throughput-at-SLO is judged "
+        "against this)",
+    )
+    run.add_argument(
+        "--mode", choices=("sim", "real"), default="sim",
+        help="sim: deterministic virtual time (default); real: wall clock "
+        "through the async worker",
+    )
+    run.add_argument(
+        "--ops-per-second", type=float, default=5e8,
+        help="modeled service capacity for --mode sim, scalar OPS/s "
+        "(default: 5e8)",
+    )
+    run.add_argument(
+        "--shed-depth", type=int, default=None,
+        help="install a ShedPolicy(max_queue_depth=N) on the engine",
+    )
+    run.add_argument(
+        "--model-seed", type=int, default=7,
+        help="training seed for the reference cascade (default: 7)",
+    )
+    run.add_argument(
+        "--json", dest="json_out", default=None,
+        help="also write the report as JSON to this path",
+    )
+
+    plan = sub.add_parser(
+        "plan", help="describe a schedule without running anything"
+    )
+    _add_schedule_args(plan)
+    return parser
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    schedule = _schedule_from_args(args)
+    arrivals = schedule.materialize()
+    print(schedule.describe())
+    print(f"materialized arrivals: {len(arrivals)}")
+    if arrivals:
+        times = np.array([a.t for a in arrivals])
+        gaps = np.diff(times) if len(times) > 1 else np.array([0.0])
+        print(
+            f"first/last arrival: {times[0]:.3f}s / {times[-1]:.3f}s; "
+            f"mean gap {gaps.mean() * 1e3:.2f} ms"
+        )
+        with_deadline = sum(1 for a in arrivals if a.deadline_s is not None)
+        print(f"arrivals with deadline: {with_deadline}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Imported here: the plan path must not pull in the training stack.
+    from repro.experiments.common import Scale, get_datasets, get_trained
+    from repro.serving.config import ServingConfig
+    from repro.serving.controller import ShedPolicy
+
+    schedule = _schedule_from_args(args)
+    print(schedule.describe())
+    scale = Scale.tiny()
+    print("training tiny reference cascade (cached per process)...")
+    trained = get_trained("mnist_3c", scale, seed=args.model_seed)
+    _, test = get_datasets(scale, seed=args.model_seed)
+    shed = (
+        ShedPolicy(max_queue_depth=args.shed_depth)
+        if args.shed_depth is not None
+        else None
+    )
+    engine = InferenceEngine.from_config(
+        ServingConfig(model=trained, shed=shed)
+    )
+    runner = LoadRunner(engine, schedule, test.images)
+    if args.mode == "sim":
+        report = runner.simulate(
+            ops_per_second=args.ops_per_second, slo_p99_s=args.slo_p99
+        )
+    else:
+        report = runner.run(slo_p99_s=args.slo_p99)
+    print(report.render())
+    print(
+        f"throughput @ SLO: {report.throughput_at_slo_rps:.1f} req/s | "
+        f"goodput: {report.goodput_rps:.1f} req/s "
+        f"({report.goodput_fraction:.1%} in deadline)"
+    )
+    if args.json_out:
+        path = report.save(args.json_out)
+        print(f"report written to {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "plan":
+            return _cmd_plan(args)
+        return _cmd_run(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

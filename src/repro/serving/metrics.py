@@ -66,11 +66,19 @@ class MetricsSnapshot:
     #: Deepest queue observed at any dispatch (0 when the engine never
     #: reported depths, e.g. direct ``submit`` + ``flush`` loops).
     max_queue_depth: int = 0
+    #: Requests served at a stage-0 early exit by backpressure
+    #: (:class:`~repro.serving.controller.ShedPolicy`); shed requests are
+    #: still answered, so they also count in ``requests``.
+    shed_requests: int = 0
 
     def exit_stage_fractions(self) -> np.ndarray:
         """Exit-stage histogram normalized to fractions (sums to 1)."""
         total = self.exit_stage_counts.sum()
         return self.exit_stage_counts / max(total, 1)
+
+    def shed_fraction(self) -> float:
+        """Fraction of all answered requests that were shed."""
+        return self.shed_requests / max(self.requests, 1)
 
     def render(self) -> str:
         table = AsciiTable(["metric", "value"], title="Serving metrics")
@@ -84,6 +92,9 @@ class MetricsSnapshot:
         table.add_row(["latency p99 (ms)", round(self.latency_p99_s * 1e3, 3)])
         table.add_row(["latency p99.9 (ms)", round(self.latency_p999_s * 1e3, 3)])
         table.add_row(["max queue depth", self.max_queue_depth])
+        table.add_row(
+            ["shed requests", f"{self.shed_requests} ({self.shed_fraction():.1%})"]
+        )
         fractions = "/".join(f"{f:.2f}" for f in self.exit_stage_fractions())
         table.add_row([f"exit fractions ({'/'.join(self.stage_names)})", fractions])
         table.add_row(["mean OPS / request", round(self.mean_ops, 1)])
@@ -123,6 +134,7 @@ class ServingMetrics:
         self._total_ops = 0.0
         self._total_energy_pj = 0.0
         self._max_queue_depth = 0
+        self._shed_requests = 0
         self._latencies.clear()
         self._stage0_conf.clear()
         self._started_at: float | None = None
@@ -141,6 +153,7 @@ class ServingMetrics:
         energies_pj: np.ndarray,
         stage0_confidences: np.ndarray | None = None,
         queue_depth: int | None = None,
+        shed: bool = False,
     ) -> None:
         """Fold one dispatched micro-batch into the counters.
 
@@ -164,6 +177,9 @@ class ServingMetrics:
             Optional queue depth at dispatch time (this batch plus
             whatever is still waiting); the lifetime maximum is exposed as
             :attr:`MetricsSnapshot.max_queue_depth`.
+        shed:
+            True when backpressure served this whole batch at a stage-0
+            early exit (shedding is a per-dispatch decision).
         """
         now = perf_counter()
         size = int(exit_stages.shape[0])
@@ -182,6 +198,8 @@ class ServingMetrics:
                 self._stage0_conf.extend(float(v) for v in stage0_confidences)
             if queue_depth is not None and queue_depth > self._max_queue_depth:
                 self._max_queue_depth = int(queue_depth)
+            if shed:
+                self._shed_requests += size
 
     def snapshot(self) -> MetricsSnapshot:
         """Fold the counters into one consistent :class:`MetricsSnapshot`."""
@@ -199,6 +217,7 @@ class ServingMetrics:
             total_ops = self._total_ops
             total_energy = self._total_energy_pj
             max_queue_depth = self._max_queue_depth
+            shed_requests = self._shed_requests
         has_latency = latencies.size > 0
         return MetricsSnapshot(
             requests=requests,
@@ -232,6 +251,7 @@ class ServingMetrics:
                 else 0.0
             ),
             max_queue_depth=max_queue_depth,
+            shed_requests=shed_requests,
         )
 
     def __repr__(self) -> str:

@@ -17,7 +17,12 @@ from repro.scenarios import (
     budgeted_drift_replay,
     replay_drift,
 )
-from repro.serving import DeltaController, InferenceEngine, ModelRegistry
+from repro.serving import (
+    DeltaController,
+    InferenceEngine,
+    ModelRegistry,
+    ServingConfig,
+)
 from repro.serving.adaptive import (
     AdaptiveDeltaPolicy,
     DriftDetector,
@@ -395,22 +400,28 @@ class TestEngineIntegration:
         cdln, _, table = table_setup
         policy = AdaptiveDeltaPolicy(table)
         with pytest.raises(ConfigurationError, match="soft"):
-            InferenceEngine(model=cdln, adaptive=policy)
+            InferenceEngine.from_config(
+                ServingConfig(model=cdln, adaptive=policy)
+            )
         with pytest.raises(ConfigurationError, match="soft"):
-            InferenceEngine(
-                model=cdln,
-                controller=DeltaController(hard_ops_budget=1e9),
-                adaptive=policy,
+            InferenceEngine.from_config(
+                ServingConfig(
+                    model=cdln,
+                    controller=DeltaController(hard_ops_budget=1e9),
+                    adaptive=policy,
+                )
             )
 
     def test_prime_installs_table_calibration(self, table_setup):
         cdln, base, table = table_setup
         target = 0.75 * float(cdln.path_cost_table().baseline_cost.total)
         controller = DeltaController(target_mean_ops=target)
-        engine = InferenceEngine(
-            model=cdln,
-            controller=controller,
-            adaptive=AdaptiveDeltaPolicy(table),
+        engine = InferenceEngine.from_config(
+            ServingConfig(
+                model=cdln,
+                controller=controller,
+                adaptive=AdaptiveDeltaPolicy(table),
+            )
         )
         # No lazy calibration pass needed: the table already calibrated it.
         assert not controller.needs_calibration
@@ -423,10 +434,12 @@ class TestEngineIntegration:
     def test_stage0_quantiles_recorded_with_adaptive(self, table_setup):
         cdln, base, table = table_setup
         target = 0.75 * float(cdln.path_cost_table().baseline_cost.total)
-        engine = InferenceEngine(
-            model=cdln,
-            controller=DeltaController(target_mean_ops=target),
-            adaptive=AdaptiveDeltaPolicy(table),
+        engine = InferenceEngine.from_config(
+            ServingConfig(
+                model=cdln,
+                controller=DeltaController(target_mean_ops=target),
+                adaptive=AdaptiveDeltaPolicy(table),
+            )
         )
         engine.classify_many(base.images[:32])
         snap = engine.metrics.snapshot()
@@ -435,7 +448,9 @@ class TestEngineIntegration:
         assert np.all(np.diff(snap.stage0_quantiles) >= 0)
         assert "stage-0 confidence" in snap.render()
         # Without the adaptive loop the engine does not collect them.
-        plain = InferenceEngine(model=cdln, delta=DELTA)
+        plain = InferenceEngine.from_config(
+            ServingConfig(model=cdln, delta=DELTA)
+        )
         plain.classify_many(base.images[:8])
         assert plain.metrics.snapshot().stage0_quantiles is None
 
@@ -445,11 +460,13 @@ class TestEngineIntegration:
         registry.register("m", cdln, operating_table=table)
         registry.register("bare", cdln)
         target = 0.75 * float(cdln.path_cost_table().baseline_cost.total)
-        engine = InferenceEngine(
-            registry=registry,
-            model_spec="m",
-            controller=DeltaController(target_mean_ops=target),
-            adaptive=AdaptiveDeltaPolicy(table),
+        engine = InferenceEngine.from_config(
+            ServingConfig(
+                registry=registry,
+                model_spec="m",
+                controller=DeltaController(target_mean_ops=target),
+                adaptive=AdaptiveDeltaPolicy(table),
+            )
         )
         # Swapping to an entry without a table is refused up front...
         with pytest.raises(ConfigurationError, match="no operating table"):

@@ -38,6 +38,7 @@ from repro.obs import (
     validate_span,
 )
 from repro.obs import cli
+from repro.serving.config import ServingConfig
 from repro.serving.controller import DeltaController
 from repro.serving.engine import InferenceEngine
 from repro.serving.batching import MicroBatchPolicy
@@ -412,11 +413,13 @@ class TestEngineIntegration:
     @pytest.fixture()
     def traced(self, tmp_path, trained_3c, tiny_test_set):
         with Observer.to_directory(tmp_path, meta={"test": "integration"}) as obs:
-            engine = InferenceEngine(
-                trained_3c.cdln,
-                delta=0.6,
-                policy=MicroBatchPolicy(max_batch_size=32),
-                observer=obs,
+            engine = InferenceEngine.from_config(
+                ServingConfig(
+                    model=trained_3c.cdln,
+                    delta=0.6,
+                    policy=MicroBatchPolicy(max_batch_size=32),
+                    observer=obs,
+                )
             )
             images = tiny_test_set.images[:96]
             responses = engine.classify_many(images)
@@ -463,10 +466,12 @@ class TestEngineIntegration:
         # A budget below the final stage's cost forces early exits.
         budget = float(table.exit_totals()[-1]) - 1.0
         with Observer.to_directory(tmp_path) as obs:
-            engine = InferenceEngine(
-                trained_3c.cdln,
-                controller=DeltaController(hard_ops_budget=budget, delta=0.99),
-                observer=obs,
+            engine = InferenceEngine.from_config(
+                ServingConfig(
+                    model=trained_3c.cdln,
+                    controller=DeltaController(hard_ops_budget=budget, delta=0.99),
+                    observer=obs,
+                )
             )
             engine.classify_many(tiny_test_set.images[:64])
         trips = [e for e in obs.events.tail() if e["kind"] == "hard_cap_trip"]
@@ -474,7 +479,9 @@ class TestEngineIntegration:
         assert all(e["forced"] > 0 for e in trips)
 
     def test_default_engine_has_null_observer(self, trained_3c):
-        engine = InferenceEngine(trained_3c.cdln, delta=0.6)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, delta=0.6)
+        )
         assert engine.observer is NULL_OBSERVER
         assert engine.entry.observer is NULL_OBSERVER
 
@@ -486,11 +493,13 @@ class TestCli:
     @pytest.fixture()
     def trace_file(self, tmp_path, trained_3c, tiny_test_set):
         with Observer.to_directory(tmp_path) as obs:
-            engine = InferenceEngine(
-                trained_3c.cdln,
-                delta=0.6,
-                policy=MicroBatchPolicy(max_batch_size=32),
-                observer=obs,
+            engine = InferenceEngine.from_config(
+                ServingConfig(
+                    model=trained_3c.cdln,
+                    delta=0.6,
+                    policy=MicroBatchPolicy(max_batch_size=32),
+                    observer=obs,
+                )
             )
             engine.classify_many(tiny_test_set.images[:64])
         return tmp_path / "trace.jsonl", engine

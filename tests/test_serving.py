@@ -22,8 +22,9 @@ import pytest
 from repro.errors import ConfigurationError, NotFittedError, ShapeError
 from repro.serving.batching import MicroBatcher, MicroBatchPolicy, collect_from_queue
 from repro.serving.cascade import execute_cascade
+from repro.serving.config import ServingConfig
 from repro.serving.controller import DeltaController, simulate_exit_stages
-from repro.serving.engine import AsyncInferenceEngine, InferenceEngine
+from repro.serving.engine import AsyncEngine, InferenceEngine
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry
 
@@ -82,10 +83,12 @@ class TestEngineParity:
         images = tiny_test_set.images[:90]
         offline = trained_3c.cdln.predict(images, delta=0.6)
         rng = np.random.default_rng(3)
-        engine = InferenceEngine(
-            model=trained_3c.cdln,
-            delta=0.6,
-            policy=MicroBatchPolicy(max_batch_size=int(rng.integers(2, 17))),
+        engine = InferenceEngine.from_config(
+            ServingConfig(
+                model=trained_3c.cdln,
+                delta=0.6,
+                policy=MicroBatchPolicy(max_batch_size=int(rng.integers(2, 17))),
+            )
         )
         tickets = []
         cursor = 0
@@ -111,7 +114,9 @@ class TestEngineParity:
         )
 
     def test_response_costs_come_from_cost_table(self, trained_3c, tiny_test_set):
-        engine = InferenceEngine(model=trained_3c.cdln, delta=0.6)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, delta=0.6)
+        )
         table = trained_3c.cdln.path_cost_table()
         totals = table.exit_totals()
         for response in engine.classify_many(tiny_test_set.images[:30]):
@@ -120,7 +125,9 @@ class TestEngineParity:
             assert response.exit_stage_name == table.stage_names[response.exit_stage]
 
     def test_classify_single(self, trained_3c, tiny_test_set):
-        engine = InferenceEngine(model=trained_3c.cdln, delta=0.6)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, delta=0.6)
+        )
         response = engine.classify(tiny_test_set.images[0])
         trace_label = trained_3c.cdln.predict(
             tiny_test_set.images[:1], delta=0.6
@@ -138,13 +145,19 @@ class TestEngineParity:
         with pytest.raises(ConfigurationError):
             InferenceEngine()
         with pytest.raises(ConfigurationError):
-            InferenceEngine(model=trained_3c.cdln, registry=ModelRegistry())
+            InferenceEngine(
+                config=ServingConfig(
+                    model=trained_3c.cdln, registry=ModelRegistry()
+                )
+            )
 
     def test_metrics_accumulate(self, trained_3c, tiny_test_set):
-        engine = InferenceEngine(
-            model=trained_3c.cdln,
-            delta=0.6,
-            policy=MicroBatchPolicy(max_batch_size=8),
+        engine = InferenceEngine.from_config(
+            ServingConfig(
+                model=trained_3c.cdln,
+                delta=0.6,
+                policy=MicroBatchPolicy(max_batch_size=8),
+            )
         )
         engine.classify_many(tiny_test_set.images[:20])
         snap = engine.metrics.snapshot()
@@ -160,26 +173,30 @@ class TestAsyncFacade:
     def test_async_matches_offline(self, trained_3c, tiny_test_set):
         images = tiny_test_set.images[:40]
         offline = trained_3c.cdln.predict(images, delta=0.6)
-        engine = InferenceEngine(
-            model=trained_3c.cdln,
-            delta=0.6,
-            policy=MicroBatchPolicy(max_batch_size=16, max_wait_s=0.001),
+        engine = InferenceEngine.from_config(
+            ServingConfig(
+                model=trained_3c.cdln,
+                delta=0.6,
+                policy=MicroBatchPolicy(max_batch_size=16, max_wait_s=0.001),
+            )
         )
-        with AsyncInferenceEngine(engine) as server:
+        with AsyncEngine(engine) as server:
             tickets = [server.submit(image) for image in images]
             responses = [t.result(timeout=30.0) for t in tickets]
         assert [r.label for r in responses] == offline.labels.tolist()
         assert [r.exit_stage for r in responses] == offline.exit_stages.tolist()
 
     def test_submit_before_start_raises(self, trained_3c, tiny_test_set):
-        server = AsyncInferenceEngine(InferenceEngine(model=trained_3c.cdln))
+        server = AsyncEngine(InferenceEngine(model=trained_3c.cdln))
         with pytest.raises(ConfigurationError):
             server.submit(tiny_test_set.images[0])
 
     def test_concurrent_submitters(self, trained_3c, tiny_test_set):
         images = tiny_test_set.images[:32]
         offline = trained_3c.cdln.predict(images, delta=0.6)
-        engine = InferenceEngine(model=trained_3c.cdln, delta=0.6)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, delta=0.6)
+        )
         results = {}
 
         def client(start: int, stop: int, server) -> None:
@@ -187,7 +204,7 @@ class TestAsyncFacade:
             for i, ticket in tickets:
                 results[i] = ticket.result(timeout=30.0)
 
-        with AsyncInferenceEngine(engine) as server:
+        with AsyncEngine(engine) as server:
             threads = [
                 threading.Thread(target=client, args=(i * 8, (i + 1) * 8, server))
                 for i in range(4)
@@ -201,8 +218,10 @@ class TestAsyncFacade:
             assert results[i].label == offline.labels[i]
 
     def test_stop_is_idempotent_and_restartable(self, trained_3c, tiny_test_set):
-        engine = InferenceEngine(model=trained_3c.cdln, delta=0.6)
-        server = AsyncInferenceEngine(engine)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, delta=0.6)
+        )
+        server = AsyncEngine(engine)
         server.stop()  # not running: no-op
         server.start()
         first = server.submit(tiny_test_set.images[0]).result(timeout=30.0)
@@ -233,7 +252,9 @@ class TestDeltaController:
             budget = float(rng.uniform(totals[0], totals[-1] * 1.1))
             delta = float(rng.uniform(0.05, 0.95))
             controller = DeltaController(hard_ops_budget=budget, delta=delta)
-            engine = InferenceEngine(model=cdln, controller=controller)
+            engine = InferenceEngine.from_config(
+                ServingConfig(model=cdln, controller=controller)
+            )
             picks = rng.choice(len(images), size=60, replace=False)
             for response in engine.classify_many(images[picks]):
                 assert response.ops <= budget
@@ -241,7 +262,9 @@ class TestDeltaController:
     def test_unaffordable_hard_budget_raises(self, trained_3c, tiny_test_set):
         totals = trained_3c.cdln.path_cost_table().exit_totals()
         controller = DeltaController(hard_ops_budget=totals[0] * 0.5)
-        engine = InferenceEngine(model=trained_3c.cdln, controller=controller)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, controller=controller)
+        )
         with pytest.raises(ConfigurationError):
             engine.classify(tiny_test_set.images[0])
 
@@ -274,7 +297,9 @@ class TestDeltaController:
         baseline = float(cdln.path_cost_table().baseline_cost.total)
         target = 0.8 * baseline
         controller = DeltaController(target_mean_ops=target, feedback_smoothing=0.0)
-        engine = InferenceEngine(model=cdln, controller=controller)
+        engine = InferenceEngine.from_config(
+                ServingConfig(model=cdln, controller=controller)
+            )
         engine.calibrate(tiny_test_set.images)
         calibration = controller.calibration
         assert calibration is not None
@@ -288,7 +313,9 @@ class TestDeltaController:
     def test_lazy_calibration_on_first_batch(self, trained_3c, tiny_test_set):
         baseline = float(trained_3c.cdln.path_cost_table().baseline_cost.total)
         controller = DeltaController(target_mean_ops=0.8 * baseline)
-        engine = InferenceEngine(model=trained_3c.cdln, controller=controller)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, controller=controller)
+        )
         assert controller.needs_calibration
         # A degenerate first batch must not pin the calibration curve.
         engine.classify(tiny_test_set.images[0])
@@ -374,7 +401,9 @@ class TestModelRegistry:
         registry = ModelRegistry()
         registry.register("threec", trained_3c)
         registry.register("twoc", trained_2c)
-        engine = InferenceEngine(registry=registry, model_spec="threec", delta=0.6)
+        engine = InferenceEngine.from_config(
+            ServingConfig(registry=registry, model_spec="threec", delta=0.6)
+        )
         engine.classify(tiny_test_set.images[0])
         engine.use_model("twoc")
         response = engine.classify(tiny_test_set.images[1])
@@ -514,22 +543,30 @@ class TestDegenerateInputs:
     produce well-formed results, not incidental numpy behavior."""
 
     def test_classify_many_empty_array(self, trained_3c):
-        engine = InferenceEngine(model=trained_3c.cdln, delta=0.6)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, delta=0.6)
+        )
         assert engine.classify_many(np.empty((0, 1, 28, 28))) == []
         assert engine.metrics.snapshot().requests == 0
 
     def test_flush_with_nothing_pending(self, trained_3c):
-        engine = InferenceEngine(model=trained_3c.cdln, delta=0.6)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, delta=0.6)
+        )
         assert engine.flush() == 0
 
     def test_process_batch_empty_is_noop(self, trained_3c):
         controller = DeltaController(target_mean_ops=1.0, delta=0.6)
-        engine = InferenceEngine(model=trained_3c.cdln, controller=controller)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, controller=controller)
+        )
         engine._process_batch([])  # no np.stack crash, no NaN observation
         assert engine.metrics.snapshot().batches == 0
 
     def test_single_sample_round_trip(self, trained_3c, tiny_test_set):
-        engine = InferenceEngine(model=trained_3c.cdln, delta=0.6)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, delta=0.6)
+        )
         response = engine.classify(tiny_test_set.images[0])
         offline = trained_3c.cdln.predict(tiny_test_set.images[:1], delta=0.6)
         assert response.batch_size == 1
@@ -540,7 +577,9 @@ class TestDegenerateInputs:
         totals = trained_3c.cdln.path_cost_table().exit_totals()
         budget = float(totals[0]) * 1.01  # only the first exit is affordable
         controller = DeltaController(hard_ops_budget=budget, delta=0.6)
-        engine = InferenceEngine(model=trained_3c.cdln, controller=controller)
+        engine = InferenceEngine.from_config(
+            ServingConfig(model=trained_3c.cdln, controller=controller)
+        )
         responses = engine.classify_many(tiny_test_set.images[:32])
         assert all(r.exit_stage == 0 for r in responses)
         assert all(r.ops <= budget for r in responses)
