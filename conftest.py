@@ -1,0 +1,77 @@
+"""Root pytest config: a per-test wall-clock ceiling, everywhere.
+
+``pytest.ini`` sets ``timeout = 120`` so a wedged worker thread or a
+deadlocked ticket wait fails one test loudly instead of eating a whole
+CI job's ``timeout-minutes``.  When the real ``pytest-timeout`` plugin
+is installed (CI installs it via ``requirements-ci.txt``) it owns the
+option and this file stays out of the way.  In minimal environments
+without the plugin, this conftest registers the same ``timeout`` ini
+key and ``@pytest.mark.timeout`` marker and enforces them with a
+SIGALRM watchdog -- POSIX, main thread only; elsewhere the ceiling is
+simply not enforced (a no-op, never an error).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+
+def _fallback_active(config) -> bool:
+    return not config.pluginmanager.hasplugin("timeout")
+
+
+def pytest_addoption(parser, pluginmanager):
+    if pluginmanager.hasplugin("timeout"):
+        return
+    parser.addini(
+        "timeout",
+        "per-test wall-clock ceiling in seconds "
+        "(SIGALRM fallback; pytest-timeout owns this when installed)",
+        default=None,
+    )
+
+
+def pytest_configure(config):
+    if _fallback_active(config):
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test wall-clock ceiling "
+            "(overrides the `timeout` ini value)",
+        )
+
+
+def _ceiling_s(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    raw = item.config.getini("timeout")
+    return float(raw) if raw else 0.0
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    enforce = (
+        _fallback_active(item.config)
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    seconds = _ceiling_s(item) if enforce else 0.0
+    if not seconds > 0:
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {seconds:g}s per-test ceiling "
+            "(conftest SIGALRM fallback)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -9,6 +9,7 @@ double-registration loud).
 from repro.bench.suites import (
     ablations,
     adaptive,
+    chaos,
     figures,
     hotpath,
     loadgen,
@@ -21,6 +22,7 @@ from repro.bench.suites import (
 __all__ = [
     "ablations",
     "adaptive",
+    "chaos",
     "figures",
     "hotpath",
     "loadgen",

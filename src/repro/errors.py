@@ -29,5 +29,19 @@ class DataError(ReproError, ValueError):
     """A dataset is malformed (bad labels, wrong dtype, empty split...)."""
 
 
+class InputValidationError(DataError):
+    """A request payload failed intake validation (NaN/Inf pixels...).
+
+    Raised at ``submit()`` time, before the payload can reach a batch --
+    one poisoned image must never take down a whole dispatch.  Engines
+    running with a :class:`~repro.serving.resilience.ResiliencePolicy`
+    convert it into a ``RequestFailed`` answer instead of raising.
+    """
+
+
+class RequestCancelled(ReproError, RuntimeError):
+    """``Ticket.result()`` was called on a cancelled request."""
+
+
 class SerializationError(ReproError, RuntimeError):
     """A model checkpoint could not be written or read back."""

@@ -34,6 +34,7 @@ from repro.obs.trace import (
     iter_records,
     read_header,
     read_spans,
+    reconcile_errors,
     reconcile_ops,
     reconcile_shed,
     validate_span,
@@ -57,6 +58,7 @@ __all__ = [
     "parse_prometheus",
     "read_header",
     "read_spans",
+    "reconcile_errors",
     "reconcile_ops",
     "reconcile_shed",
     "validate_span",

@@ -83,12 +83,18 @@ def summarize_trace(path: Path) -> dict:
     ``mean_ops`` is reconciled through :func:`~repro.obs.trace.
     reconcile_ops` (per-batch numpy sums accumulated in batch order), so
     it equals the engine's ``MetricsSnapshot.mean_ops`` exactly.
+
+    Failure spans (``error`` set, ``exit_stage`` -1, zero cost) are
+    excluded from the exit-flow/latency/OPS statistics -- they carry no
+    answer -- and surface as ``failed`` counts in the totals instead.
     """
     header = read_header(path)
-    spans = _spans(path)
+    all_spans = _spans(path)
+    spans = [s for s in all_spans if s.get("error") is None]
+    failed = len(all_spans) - len(spans)
     if not spans:
         return {"header": header, "requests": 0, "exit_flow": [],
-                "stage_breakdown": [], "totals": {}}
+                "stage_breakdown": [], "totals": {"failed": failed}}
     latencies = np.array([s["latency_s"] for s in spans], dtype=np.float64)
     waits = np.array([s["queue_wait_s"] for s in spans], dtype=np.float64)
     ops = np.array([s["ops"] for s in spans], dtype=np.float64)
@@ -153,6 +159,8 @@ def summarize_trace(path: Path) -> dict:
         "mean_latency_ms": float(latencies.mean()) * 1e3,
         "max_latency_ms": float(latencies.max()) * 1e3,
         "mean_queue_wait_ms": float(waits.mean()) * 1e3,
+        "failed": failed,
+        "degraded": sum(1 for s in spans if s.get("degraded")),
     }
     return {
         "header": header,
@@ -206,6 +214,9 @@ def cmd_summary(args: argparse.Namespace) -> int:
     table.add_row(["mean latency (ms)", round(totals["mean_latency_ms"], 3)])
     table.add_row(["max latency (ms)", round(totals["max_latency_ms"], 3)])
     table.add_row(["mean queue wait (ms)", round(totals["mean_queue_wait_ms"], 3)])
+    if totals["failed"] or totals["degraded"]:
+        table.add_row(["failed", totals["failed"]])
+        table.add_row(["degraded", totals["degraded"]])
     print(table.render())
     return 0
 

@@ -219,3 +219,31 @@ def reconcile_shed(spans: Iterable[dict]) -> tuple[int, int]:
         if span.get("shed"):
             shed += 1
     return shed, count
+
+
+def reconcile_errors(
+    spans: Iterable[dict],
+) -> tuple[dict[str, int], int, int]:
+    """Re-derive ``(failed by cause, degraded requests, requests)`` from spans.
+
+    A failed request's span carries ``error`` (the cause label, e.g.
+    ``"injected_fault"``) and ``exit_stage`` -1; a request served during
+    a degraded episode carries ``degraded: true``.  Neither field is in
+    the v1 required set -- pre-resilience traces reconcile to zero.  The
+    chaos gate checks the result three ways: the per-cause dict must
+    equal :attr:`MetricsSnapshot.failed_by_cause`, the degraded count
+    :attr:`MetricsSnapshot.degraded_requests`, and both must match the
+    :class:`~repro.serving.slo.SLOReport` of the same run.  ``requests``
+    counts every span, failed included.
+    """
+    failed: dict[str, int] = {}
+    degraded = 0
+    count = 0
+    for span in spans:
+        count += 1
+        cause = span.get("error")
+        if cause is not None:
+            failed[cause] = failed.get(cause, 0) + 1
+        elif span.get("degraded"):
+            degraded += 1
+    return failed, degraded, count

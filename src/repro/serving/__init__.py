@@ -46,7 +46,14 @@ _EXPORTS = {
     "AsyncInferenceEngine": "repro.serving.engine",
     "InferenceEngine": "repro.serving.engine",
     "InferenceResponse": "repro.serving.engine",
+    "RequestFailed": "repro.serving.engine",
     "Ticket": "repro.serving.engine",
+    "FaultInjector": "repro.serving.faults",
+    "FaultPlan": "repro.serving.faults",
+    "FaultSpec": "repro.serving.faults",
+    "InjectedFault": "repro.serving.faults",
+    "HealthStatus": "repro.serving.resilience",
+    "ResiliencePolicy": "repro.serving.resilience",
     "AdaptiveDeltaPolicy": "repro.serving.adaptive",
     "DriftDetector": "repro.serving.adaptive",
     "DriftEvent": "repro.serving.adaptive",

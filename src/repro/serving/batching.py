@@ -91,24 +91,33 @@ class MicroBatcher:
     def next_batch(self) -> list[Any]:
         """Pop up to ``max_batch_size`` items (empty list when idle).
 
-        Highest priority class first, FIFO within a class.
+        Highest priority class first, FIFO within a class.  Items whose
+        ticket has been cancelled are purged here instead of batched --
+        an abandoned request must not occupy a dispatch slot (or leak a
+        pending entry forever).
         """
         batch: list[Any] = []
-        budget = min(self._size, self.policy.max_batch_size)
+        max_size = self.policy.max_batch_size
         for priority in self._priorities:
             pending = self._classes[priority]
-            while pending and len(batch) < budget:
-                batch.append(pending.popleft())
-            if len(batch) == budget:
+            while pending and len(batch) < max_size:
+                item = pending.popleft()
+                self._size -= 1
+                ticket = getattr(item, "ticket", None)
+                if ticket is not None and getattr(ticket, "cancelled", False):
+                    continue
+                batch.append(item)
+            if len(batch) == max_size:
                 break
-        self._size -= len(batch)
         return batch
 
     def drain(self) -> list[list[Any]]:
         """Pop everything pending as a list of policy-sized batches."""
         batches = []
         while self._size:
-            batches.append(self.next_batch())
+            batch = self.next_batch()
+            if batch:  # an all-cancelled chunk purges to nothing
+                batches.append(batch)
         return batches
 
 
@@ -138,7 +147,10 @@ def collect_from_queue(
     while len(items) < policy.max_batch_size:
         remaining = deadline - perf_counter()
         try:
-            item = source.get_nowait() if remaining <= 0 else source.get(timeout=remaining)
+            if remaining <= 0:
+                item = source.get_nowait()
+            else:
+                item = source.get(timeout=remaining)
         except queue.Empty:
             break
         if item is None:

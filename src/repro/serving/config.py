@@ -22,7 +22,9 @@ from repro.errors import ConfigurationError
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.serving.batching import MicroBatchPolicy
 from repro.serving.controller import DeltaController, ShedPolicy
+from repro.serving.faults import FaultPlan
 from repro.serving.registry import ModelRegistry
+from repro.serving.resilience import ResiliencePolicy
 
 
 @dataclass(frozen=True)
@@ -54,6 +56,19 @@ class ServingConfig:
         queue depth (or predicted wait) at dispatch crosses the policy's
         threshold, the engine serves the batch force-terminated at
         stage 0 -- cheap answers instead of dropped requests.
+    resilience:
+        Optional :class:`~repro.serving.resilience.ResiliencePolicy`.
+        Turns on the fault-handling ladder -- supervised async worker,
+        poison-batch isolation, bounded retries, degraded stage-0
+        fallback, deadline cancellation.  Without it the engine keeps
+        the original propagate-on-error contract.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultPlan` -- seeded
+        fault injection for chaos testing.  Never set in production.
+    validate_inputs:
+        Reject non-finite payloads (NaN/Inf) at ``submit()`` with
+        :class:`~repro.errors.InputValidationError` (default).  Trusted
+        intake paths can turn the check off.
     observer:
         Optional :class:`~repro.obs.observer.Observer`; defaults to the
         no-op :data:`~repro.obs.observer.NULL_OBSERVER` and is propagated
@@ -68,6 +83,9 @@ class ServingConfig:
     delta: float | None = None
     adaptive: object | None = None
     shed: ShedPolicy | None = None
+    resilience: ResiliencePolicy | None = None
+    faults: FaultPlan | None = None
+    validate_inputs: bool = True
     observer: Observer | None = None
 
     def validate(self) -> "ServingConfig":
@@ -114,6 +132,17 @@ class ServingConfig:
         if self.shed is not None and not isinstance(self.shed, ShedPolicy):
             raise ConfigurationError(
                 f"shed must be a ShedPolicy, got {type(self.shed).__name__}"
+            )
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResiliencePolicy
+        ):
+            raise ConfigurationError(
+                f"resilience must be a ResiliencePolicy, got "
+                f"{type(self.resilience).__name__}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan, got {type(self.faults).__name__}"
             )
         if self.delta is not None and not 0.0 <= self.delta <= 1.0:
             raise ConfigurationError(

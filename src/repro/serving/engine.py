@@ -45,21 +45,29 @@ from __future__ import annotations
 
 import itertools
 import queue
+import random
 import threading
 import warnings
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter, sleep
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import (
+    ConfigurationError,
+    InputValidationError,
+    RequestCancelled,
+    ShapeError,
+)
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.serving.batching import MicroBatcher, MicroBatchPolicy, collect_from_queue
 from repro.serving.cascade import execute_cascade
 from repro.serving.config import ServingConfig
 from repro.serving.controller import DeltaController
+from repro.serving.faults import FaultInjector, InjectedFault
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelEntry, ModelRegistry
+from repro.serving.resilience import HealthStatus
 from repro.utils.logging import get_logger
 
 _log = get_logger("serving.engine")
@@ -102,32 +110,95 @@ class InferenceResponse:
     #: True when the request carried a ``deadline_s`` and the answer came
     #: back later than that (wall clock).  The answer is still delivered.
     deadline_missed: bool = False
+    #: True when the resilience layer served this request at stage 0
+    #: because the engine was in a degraded episode (accounted like shed).
+    degraded: bool = False
+
+    #: Discriminator shared with :class:`RequestFailed`: check
+    #: ``response.failed`` before touching result fields.
+    failed = False
+
+
+@dataclass(frozen=True)
+class RequestFailed:
+    """A request's *terminal failure* answer (the ticket still resolves).
+
+    The resilience layer never strands a ticket: when a request cannot be
+    served -- poison input, exhausted retries, worker crash, spent
+    restart budget, expired deadline -- its ticket resolves with one of
+    these instead of an :class:`InferenceResponse`.  ``error`` is the
+    machine-readable cause (one of
+    :data:`~repro.serving.resilience.FAILURE_CAUSES`, the same label on
+    the ``requests_failed_total`` metric), ``message`` the human detail.
+    """
+
+    request_id: int
+    error: str
+    message: str
+    retries: int = 0
+    #: Queue-to-failure seconds (wall clock).
+    latency_s: float = 0.0
+
+    failed = True
 
 
 class Ticket:
-    """A pending request's handle; resolves to an :class:`InferenceResponse`."""
+    """A pending request's handle; resolves to an :class:`InferenceResponse`
+    (or, under a resilience policy, a :class:`RequestFailed`)."""
 
-    __slots__ = ("request_id", "_event", "_response")
+    __slots__ = ("request_id", "_event", "_response", "_cancelled")
 
     def __init__(self, request_id: int) -> None:
         self.request_id = request_id
         self._event = threading.Event()
-        self._response: InferenceResponse | None = None
+        self._response: InferenceResponse | RequestFailed | None = None
+        self._cancelled = False
 
     @property
     def done(self) -> bool:
         return self._event.is_set()
 
-    def result(self, timeout: float | None = None) -> InferenceResponse:
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Abandon the request: the engine purges it instead of serving it.
+
+        Returns True when the cancellation won (the ticket will never
+        carry a response), False when the request had already resolved.
+        Cancelling is how a caller that gave up on ``result(timeout=...)``
+        tells the engine not to keep the pending entry alive forever.
+        """
+        if self._event.is_set():
+            return False
+        self._cancelled = True
+        self._event.set()
+        return True
+
+    def result(
+        self, timeout: float | None = None
+    ) -> InferenceResponse | RequestFailed:
         """Block until the response is available (engines resolve tickets
-        on dispatch; with the synchronous engine, call ``flush()`` first)."""
+        on dispatch; with the synchronous engine, call ``flush()`` first).
+
+        Raises :class:`~repro.errors.RequestCancelled` after
+        :meth:`cancel`, ``TimeoutError`` when ``timeout`` expires first.
+        """
         if not self._event.wait(timeout):
             raise TimeoutError(
                 f"request {self.request_id} not answered within {timeout}s"
             )
+        if self._response is None and self._cancelled:
+            raise RequestCancelled(f"request {self.request_id} was cancelled")
         return self._response
 
-    def _resolve(self, response: InferenceResponse) -> None:
+    def _resolve(self, response: InferenceResponse | RequestFailed) -> None:
+        # First writer wins: a cancelled ticket stays cancelled, and a
+        # supervisor failing in-flight work cannot clobber an answer a
+        # partially-completed dispatch already delivered.
+        if self._event.is_set():
+            return
         self._response = response
         self._event.set()
 
@@ -230,6 +301,12 @@ class InferenceEngine:
         self.delta = cfg.delta
         self.adaptive = cfg.adaptive
         self.shed = cfg.shed
+        self.resilience = cfg.resilience
+        #: Installed fault injector (chaos testing); ``None`` in production.
+        self.faults = (
+            FaultInjector(cfg.faults) if cfg.faults is not None else None
+        )
+        self._validate_inputs = cfg.validate_inputs
         self._entry: ModelEntry = registry.resolve(cfg.model_spec)
         # Bind telemetry BEFORE warming/priming so the warm-up and the
         # initial retarget land in the event log.
@@ -244,6 +321,15 @@ class InferenceEngine:
         #: EWMA of per-request service seconds (drives predicted-wait shedding).
         self._service_ewma_s: float | None = None
         self._shedding = False
+        #: Exhausted-retry request failures since the last full-service
+        #: success (the degraded-mode trigger).
+        self._consecutive_failures = 0
+        #: Dispatch cycles left in the current degraded episode.
+        self._degraded_remaining = 0
+        #: Virtual-clock mode: injected delays accumulate here instead of
+        #: sleeping (the simulated load runner drains it per dispatch).
+        self._virtual_clock = False
+        self._virtual_delay_s = 0.0
         if cfg.adaptive is not None:
             cfg.adaptive.prime(self)
 
@@ -313,13 +399,27 @@ class InferenceEngine:
     def _coerce_image(self, image: np.ndarray) -> np.ndarray:
         expected = self._entry.cdln.baseline.input_shape
         image = np.asarray(image)
-        if image.shape == expected:
-            return image
         if image.shape == (1, *expected):
-            return image[0]
-        raise ShapeError(
-            f"image must have shape {expected} or {(1, *expected)}, got {image.shape}"
-        )
+            image = image[0]
+        elif image.shape != expected:
+            raise ShapeError(
+                f"image must have shape {expected} or {(1, *expected)}, "
+                f"got {image.shape}"
+            )
+        # Reject NaN/Inf at the door: a non-finite pixel silently poisons
+        # every activation downstream and the request "answers" garbage.
+        # One vectorized pass; trusted intake paths can turn it off via
+        # ServingConfig(validate_inputs=False).
+        if (
+            self._validate_inputs
+            and image.dtype.kind == "f"
+            and not np.isfinite(image).all()
+        ):
+            raise InputValidationError(
+                "image contains non-finite values (NaN/Inf); reject at "
+                "intake or disable via ServingConfig(validate_inputs=False)"
+            )
+        return image
 
     def submit(
         self,
@@ -335,11 +435,39 @@ class InferenceEngine:
         request is never dropped.  ``priority`` orders dispatch under
         backlog (higher first, FIFO within a class).  Same contract as
         :meth:`AsyncEngine.submit` -- see the module API table.
+
+        With a resilience policy installed, a payload that fails intake
+        validation returns an already-failed ticket
+        (:class:`RequestFailed`, cause ``invalid_input``) instead of
+        raising -- one bad client must not crash the submit path.
         """
-        pending = self._make_pending(image, deadline_s=deadline_s, priority=priority)
+        try:
+            pending = self._make_pending(
+                image, deadline_s=deadline_s, priority=priority
+            )
+        except InputValidationError as exc:
+            if self.resilience is None:
+                raise
+            return self._fail_intake(exc)
         with self._lock:
             self._batcher.add(pending)
         return pending.ticket
+
+    def _fail_intake(self, exc: InputValidationError) -> Ticket:
+        """A pre-failed ticket for a payload rejected at validation.
+
+        Counted exactly like any other request failure (metrics, span,
+        ``requests_failed_total{cause="invalid_input"}``) so chaos-run
+        reconciliation holds across report == metrics == trace.
+        """
+        ticket = Ticket(next(self._ids))
+        pending = _Pending(
+            image=None, ticket=ticket, enqueued_at=perf_counter()
+        )
+        self._fail_pending(
+            pending, cause="invalid_input", message=str(exc), retries=0
+        )
+        return ticket
 
     def _make_pending(
         self,
@@ -396,11 +524,266 @@ class InferenceEngine:
     def _process_batch(
         self, batch: list[_Pending], *, queue_depth: int | None = None
     ) -> None:
+        """Serve one formed batch under the resilience policy (if any).
+
+        Without a policy this is a straight call into
+        :meth:`_dispatch_batch` and keeps the original contract: a
+        compute exception propagates to the caller.  With a policy, the
+        failure-handling ladder applies -- deadline cancellation, batch
+        bisection, bounded retries, degraded fallback -- and this method
+        *never raises*: every ticket resolves, with an answer or a
+        :class:`RequestFailed`.
+        """
+        # Cancelled tickets are purged at dispatch, whatever the path
+        # (sync flush, async worker, simulated runner).
+        batch = [p for p in batch if not p.ticket.cancelled]
+        if not batch:
+            return
+        policy = self.resilience
+        if policy is None:
+            self._dispatch_batch(batch, queue_depth=queue_depth)
+            return
+        if policy.cancel_after_deadline_s is not None:
+            now = perf_counter()
+            keep = []
+            for pending in batch:
+                expired = (
+                    pending.deadline_s is not None
+                    and now - pending.enqueued_at
+                    > pending.deadline_s + policy.cancel_after_deadline_s
+                )
+                if expired:
+                    self._fail_pending(
+                        pending,
+                        cause="deadline",
+                        message=(
+                            f"request {pending.ticket.request_id} was "
+                            f"{now - pending.enqueued_at - pending.deadline_s:.3f}s "
+                            "past its deadline at dispatch"
+                        ),
+                        retries=0,
+                    )
+                else:
+                    keep.append(pending)
+            batch = keep
+            if not batch:
+                return
+        if policy.isolate:
+            self._serve_with_isolation(batch, queue_depth=queue_depth)
+        else:
+            # Supervision-only mode: failures propagate (the async
+            # supervisor restarts the worker and fails in-flight work).
+            self._dispatch_batch(batch, queue_depth=queue_depth)
+        if self._degraded_remaining > 0:
+            self._degraded_remaining -= 1
+            if self._degraded_remaining == 0:
+                # Episode over: probe full service on the next dispatch.
+                self._consecutive_failures = 0
+                self.observer.event("degraded_released")
+                self.observer.set_gauge(
+                    "degraded", 0.0,
+                    "1 while the engine serves from the degraded "
+                    "stage-0 fallback.",
+                )
+
+    def _serve_with_isolation(
+        self, batch: list[_Pending], *, queue_depth: int | None
+    ) -> None:
+        """Dispatch; on failure, bisect until the poison request is alone.
+
+        Every sub-dispatch re-checks the degraded flag, so an episode
+        engaged mid-bisection (systemic failure) immediately routes the
+        remaining halves through the stage-0 fallback instead of burning
+        them against a broken full-service path.
+        """
+        degraded = self._degraded_remaining > 0
+        try:
+            self._dispatch_batch(
+                batch, queue_depth=queue_depth, degraded=degraded
+            )
+            if not degraded:
+                self._consecutive_failures = 0
+            return
+        except Exception as exc:  # noqa: BLE001 -- resilience boundary
+            failure = exc
+            self.observer.event(
+                "batch_fault",
+                error=self._failure_cause(failure),
+                batch_size=len(batch),
+                degraded=degraded,
+                message=str(failure)[:200],
+            )
+        if len(batch) == 1:
+            self._retry_single(batch[0], failure, queue_depth=queue_depth)
+            return
+        mid = len(batch) // 2
+        self._serve_with_isolation(batch[:mid], queue_depth=queue_depth)
+        self._serve_with_isolation(batch[mid:], queue_depth=queue_depth)
+
+    def _retry_single(
+        self,
+        pending: _Pending,
+        first_failure: Exception,
+        *,
+        queue_depth: int | None,
+    ) -> None:
+        """Bounded re-dispatch of a lone failing request, then quarantine."""
+        policy = self.resilience
+        last = first_failure
+        retries = 0
+        for _ in range(policy.max_retries):
+            retries += 1
+            self.metrics.record_retry()
+            self.observer.inc(
+                "retries_total", 1.0,
+                "Per-request re-dispatch attempts after a batch fault.",
+            )
+            degraded = self._degraded_remaining > 0
+            try:
+                self._dispatch_batch(
+                    [pending], queue_depth=queue_depth, degraded=degraded
+                )
+                if not degraded:
+                    self._consecutive_failures = 0
+                return
+            except Exception as exc:  # noqa: BLE001 -- resilience boundary
+                last = exc
+        self._consecutive_failures += 1
+        if (
+            policy.degraded_after
+            and self._degraded_remaining == 0
+            and self._consecutive_failures >= policy.degraded_after
+        ):
+            self._degraded_remaining = policy.degraded_window
+            self.observer.event(
+                "degraded_engaged",
+                consecutive_failures=self._consecutive_failures,
+                window=policy.degraded_window,
+            )
+            self.observer.set_gauge(
+                "degraded", 1.0,
+                "1 while the engine serves from the degraded stage-0 "
+                "fallback.",
+            )
+        cause = self._failure_cause(last)
+        self.observer.event(
+            "quarantine",
+            request_id=pending.ticket.request_id,
+            error=cause,
+            retries=retries,
+        )
+        self._fail_pending(
+            pending, cause=cause, message=str(last), retries=retries
+        )
+
+    @staticmethod
+    def _failure_cause(exc: Exception) -> str:
+        """Stable, low-cardinality cause label for one compute failure."""
+        if isinstance(exc, InjectedFault):
+            return "injected_fault"
+        if isinstance(exc, InputValidationError):
+            return "invalid_input"
+        return "compute_error"
+
+    def _fail_pending(
+        self,
+        pending: _Pending,
+        *,
+        cause: str,
+        message: str,
+        retries: int,
+    ) -> None:
+        """Resolve one ticket as failed, accounted across all three ledgers.
+
+        The failure span carries every v1-required key (``exit_stage``
+        -1, zero cost, empty stage timeline) plus ``error`` -- that is
+        what :func:`repro.obs.trace.reconcile_errors` re-derives and the
+        chaos gate checks against metrics and the SLO report.
+        """
+        ticket = pending.ticket
+        if ticket.done:
+            # Already answered (or cancelled): a supervisor failing
+            # in-flight work must not double-count a served request.
+            return
+        latency_s = perf_counter() - pending.enqueued_at
+        ticket._resolve(
+            RequestFailed(
+                request_id=ticket.request_id,
+                error=cause,
+                message=message,
+                retries=retries,
+                latency_s=latency_s,
+            )
+        )
+        self.metrics.record_failure(cause)
+        observer = self.observer
+        if not observer.enabled:
+            return
+        observer.inc(
+            "requests_failed_total", 1.0,
+            "Requests that resolved with a RequestFailed answer, by cause.",
+            cause=cause,
+        )
+        if observer.trace is None:
+            return
+        with self._lock:
+            entry = self._entry
+        observer.span(
+            {
+                "kind": "span",
+                "request_id": ticket.request_id,
+                "batch_id": next(self._batch_ids),
+                "model_spec": entry.spec,
+                "queue_wait_s": latency_s,
+                "latency_s": latency_s,
+                "exit_stage": -1,
+                "exit_stage_name": "",
+                "confidence": 0.0,
+                "delta": 0.0,
+                "max_stage": None,
+                "batch_size": 1,
+                "ops": 0.0,
+                "energy_pj": 0.0,
+                "shed": False,
+                "degraded": False,
+                "error": cause,
+                "stages": [],
+            }
+        )
+
+    def pop_virtual_delay(self) -> float:
+        """Drain injected delay accumulated under the virtual clock."""
+        delay_s = self._virtual_delay_s
+        self._virtual_delay_s = 0.0
+        return delay_s
+
+    def health(self) -> HealthStatus:
+        """Liveness/readiness of the synchronous engine.
+
+        An in-process engine is live by construction; readiness clears
+        while a degraded episode is in force.
+        """
+        return HealthStatus(
+            live=True,
+            ready=self._degraded_remaining == 0,
+            degraded=self._degraded_remaining > 0,
+            queue_depth=self.pending_count(),
+            consecutive_failures=self._consecutive_failures,
+        )
+
+    def _dispatch_batch(
+        self,
+        batch: list[_Pending],
+        *,
+        queue_depth: int | None = None,
+        degraded: bool = False,
+    ) -> None:
         if not batch:
             # A degenerate dispatch (drained queue, empty flush) is a no-op,
             # not an np.stack([]) crash / NaN-mean controller observation.
             return
         observer = self.observer
+        batch_id = next(self._batch_ids)
         dispatched_at = perf_counter()
         with self._lock:
             # Snapshot both together so a concurrent use_model() cannot
@@ -442,9 +825,10 @@ class InferenceEngine:
             shed = self.shed.should_shed(
                 queue_depth=queue_depth, predicted_wait_s=predicted_wait
             )
-        if shed:
-            # Backpressure: serve the whole batch at the cheapest exit.
-            # Never drops -- every ticket still resolves with a label.
+        if shed or degraded:
+            # Backpressure or a degraded episode: serve the whole batch at
+            # the cheapest exit.  Never drops -- every ticket still
+            # resolves with a label.
             max_stage = 0
         if shed != self._shedding:
             self._shedding = shed
@@ -453,6 +837,20 @@ class InferenceEngine:
                 queue_depth=queue_depth,
                 batch_size=len(batch),
             )
+        injector = self.faults
+        if injector is not None:
+            # Chaos hook: may raise InjectedFault (handled -- or not -- by
+            # the resilience layer above) or charge extra service time.
+            delay_s = injector.on_dispatch(
+                batch_index=batch_id,
+                request_ids=[p.ticket.request_id for p in batch],
+                protected=shed or degraded,
+            )
+            if delay_s > 0.0:
+                if self._virtual_clock:
+                    self._virtual_delay_s += delay_s
+                else:
+                    sleep(delay_s)
         # The adaptive drift signal needs stage-0 confidences for *every*
         # request; stage records hold views, so recording them is cheap.
         record_stages = self.adaptive is not None
@@ -504,6 +902,7 @@ class InferenceEngine:
                         pending.deadline_s is not None
                         and float(latencies[i]) > pending.deadline_s
                     ),
+                    degraded=degraded,
                 )
             )
         metrics.record_batch(
@@ -514,11 +913,13 @@ class InferenceEngine:
             stage0_confidences=stage0_confidences,
             queue_depth=queue_depth,
             shed=shed,
+            degraded=degraded,
         )
         if observer.enabled:
             self._emit_batch_telemetry(
                 entry=entry,
                 batch=batch,
+                batch_id=batch_id,
                 result=result,
                 ops=ops,
                 energies=energies,
@@ -528,6 +929,7 @@ class InferenceEngine:
                 max_stage=max_stage,
                 queue_depth=queue_depth,
                 shed=shed,
+                degraded=degraded,
             )
         if controller is not None:
             controller.observe(float(ops.mean()), len(batch))
@@ -541,6 +943,7 @@ class InferenceEngine:
         *,
         entry: ModelEntry,
         batch: list[_Pending],
+        batch_id: int,
         result,
         ops: np.ndarray,
         energies: np.ndarray,
@@ -550,6 +953,7 @@ class InferenceEngine:
         max_stage: int | None,
         queue_depth: int | None,
         shed: bool,
+        degraded: bool,
     ) -> None:
         """Fold one dispatched batch into the observer's three sinks.
 
@@ -586,6 +990,12 @@ class InferenceEngine:
                 "requests_shed_total", float(len(batch)),
                 "Requests served at a stage-0 early exit by backpressure.",
             )
+        if degraded:
+            observer.inc(
+                "degraded_total", float(len(batch)),
+                "Requests served at a stage-0 early exit by a degraded "
+                "episode.",
+            )
         observer.set_gauge(
             "delta", effective_delta,
             "Runtime confidence threshold currently in force.",
@@ -599,9 +1009,9 @@ class InferenceEngine:
                 "queue_depth", float(queue_depth),
                 "Queue depth at dispatch (batch plus still-waiting).",
             )
-        # A shed batch force-exits by design; hard_cap_trip stays the
-        # budget-cap signal and must not fire for backpressure exits.
-        if result.forced_exits and not shed:
+        # A shed/degraded batch force-exits by design; hard_cap_trip stays
+        # the budget-cap signal and must not fire for those exits.
+        if result.forced_exits and not shed and not degraded:
             observer.event(
                 "hard_cap_trip",
                 model_spec=entry.spec,
@@ -611,7 +1021,6 @@ class InferenceEngine:
             )
         if observer.trace is None:
             return
-        batch_id = next(self._batch_ids)
         stages_payload = [
             {
                 "stage": t.stage_index,
@@ -643,6 +1052,8 @@ class InferenceEngine:
                     "ops": float(ops[i]),
                     "energy_pj": float(energies[i]),
                     "shed": shed,
+                    "degraded": degraded,
+                    "error": None,
                     "stages": stages_payload,
                 }
             )
@@ -674,10 +1085,45 @@ class AsyncEngine:
         self.engine = engine
         self._queue: queue.Queue = queue.Queue()
         self._thread: threading.Thread | None = None
+        self._restarts = 0
+        self._gave_up = False
+        #: Batch currently inside ``_process_batch`` (supervised mode
+        #: fails these tickets on a worker crash instead of stranding
+        #: them).
+        self._inflight: list[_Pending] | None = None
 
     @property
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def worker_restarts(self) -> int:
+        """Supervised restarts since the last ``start()``."""
+        return self._restarts
+
+    def health(self) -> HealthStatus:
+        """Liveness/readiness of the async facade.
+
+        ``live`` -- the worker thread is running (a silently-dead worker,
+        the pre-supervision failure mode, reads not-live here);
+        ``ready`` -- live, restart budget not exhausted, and the engine
+        is not in a degraded episode.
+        """
+        engine_health = self.engine.health()
+        policy = self.engine.resilience
+        budget = None
+        if policy is not None and policy.supervise:
+            budget = max(policy.max_restarts - self._restarts, 0)
+        live = self.running
+        return HealthStatus(
+            live=live,
+            ready=live and not self._gave_up and engine_health.ready,
+            degraded=engine_health.degraded,
+            queue_depth=self.queue_depth(),
+            consecutive_failures=engine_health.consecutive_failures,
+            worker_restarts=self._restarts,
+            restart_budget_remaining=budget,
+        )
 
     def queue_depth(self) -> int:
         """Requests waiting right now (transport queue + batcher backlog).
@@ -690,6 +1136,11 @@ class AsyncEngine:
     def start(self) -> "AsyncEngine":
         if self.running:
             raise ConfigurationError("async engine is already running")
+        # A restarted facade gets a fresh restart budget: the budget
+        # bounds one worker session's crash loop, not the process.
+        self._restarts = 0
+        self._gave_up = False
+        self._inflight = None
         self._thread = threading.Thread(
             target=self._run, name="repro-serving-worker", daemon=True
         )
@@ -742,13 +1193,106 @@ class AsyncEngine:
         :meth:`InferenceEngine.submit` (see the module API table)."""
         if not self.running:
             raise ConfigurationError("async engine is not running; call start()")
-        pending = self.engine._make_pending(
-            image, deadline_s=deadline_s, priority=priority
-        )
+        try:
+            pending = self.engine._make_pending(
+                image, deadline_s=deadline_s, priority=priority
+            )
+        except InputValidationError as exc:
+            if self.engine.resilience is None:
+                raise
+            return self.engine._fail_intake(exc)
         self._queue.put(pending)
         return pending.ticket
 
     def _run(self) -> None:
+        """Worker entry point: plain loop, or supervised when configured.
+
+        The supervisor is the contract change this repo's stranded-ticket
+        bug motivated: a batch failure fails the *in-flight* tickets
+        (cause ``worker_crash``), restarts the loop under jittered
+        exponential backoff, and -- once ``max_restarts`` is spent --
+        fails the queued backlog (cause ``restart_budget``) and exits
+        instead of crash-looping.  Without a supervising policy the old
+        behavior stands: the exception kills the thread and the
+        pre-resilience tests pin that wedge.
+        """
+        engine = self.engine
+        policy = engine.resilience
+        if policy is None or not policy.supervise:
+            self._run_loop()
+            return
+        observer = engine.observer
+        jitter_rng = random.Random(policy.seed)
+        while True:
+            try:
+                self._run_loop()
+                return  # sentinel: clean shutdown
+            except Exception as exc:  # noqa: BLE001 -- supervision boundary
+                self._restarts += 1
+                inflight, self._inflight = self._inflight, None
+                cause = engine._failure_cause(exc)
+                for pending in inflight or ():
+                    engine._fail_pending(
+                        pending,
+                        cause="worker_crash",
+                        message=f"worker crashed mid-batch: {exc}",
+                        retries=0,
+                    )
+                observer.inc(
+                    "worker_restarts_total", 1.0,
+                    "Supervised serving-worker restarts after a crash.",
+                )
+                observer.event(
+                    "worker_restart",
+                    restarts=self._restarts,
+                    error=cause,
+                    message=str(exc)[:200],
+                )
+                _log.warning(
+                    "serving worker crashed (%s); restart %d/%d",
+                    exc, self._restarts, policy.max_restarts,
+                )
+                if self._restarts > policy.max_restarts:
+                    self._gave_up = True
+                    failed = self._fail_backlog(
+                        f"restart budget ({policy.max_restarts}) exhausted: "
+                        f"{exc}"
+                    )
+                    observer.event(
+                        "worker_gave_up",
+                        restarts=self._restarts,
+                        backlog_failed=failed,
+                    )
+                    return
+                sleep(policy.backoff_s(self._restarts, jitter_rng.random()))
+
+    def _fail_backlog(self, message: str) -> int:
+        """Fail every queued request (transport queue + batcher backlog)."""
+        engine = self.engine
+        failed = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                self._queue.put(None)
+                break
+            engine._fail_pending(
+                item, cause="restart_budget", message=message, retries=0
+            )
+            failed += 1
+        with engine._lock:
+            batches = engine._batcher.drain()
+        for batch in batches:
+            for item in batch:
+                engine._fail_pending(
+                    item, cause="restart_budget", message=message, retries=0
+                )
+                failed += 1
+        return failed
+
+    def _run_loop(self) -> None:
         engine = self.engine
         while True:
             items = collect_from_queue(self._queue, engine.policy)
@@ -772,7 +1316,11 @@ class AsyncEngine:
                     )
                 if not batch:
                     break
+                # Cleared only on success: a crash leaves the batch in
+                # _inflight for the supervisor to fail instead of strand.
+                self._inflight = batch
                 engine._process_batch(batch, queue_depth=depth)
+                self._inflight = None
 
     def __enter__(self) -> "AsyncEngine":
         return self.start()

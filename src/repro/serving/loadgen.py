@@ -43,8 +43,9 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InputValidationError
 from repro.serving.engine import AsyncEngine, InferenceEngine
+from repro.serving.faults import FaultInjector, FaultPlan
 from repro.serving.schedule import Arrival, ArrivalSchedule
 from repro.serving.slo import RequestOutcome, SLOReport
 from repro.utils.logging import get_logger
@@ -71,6 +72,12 @@ class LoadRunner:
         arrival tagged ``scenario="fog@0.6"`` draws from
         ``scenario_pools["fog@0.6"]``.  Untagged arrivals (and tags with
         no pool) fall back to ``images``.
+    fault_plan:
+        Optional :class:`~repro.serving.faults.FaultPlan` for chaos runs.
+        Installs a fresh :class:`~repro.serving.faults.FaultInjector` on
+        the engine (replacing any configured one); intake-side faults
+        (``corrupt_input``) are applied by the runner before submission,
+        dispatch-side faults fire inside the engine.
     """
 
     def __init__(
@@ -80,9 +87,12 @@ class LoadRunner:
         images: np.ndarray,
         *,
         scenario_pools: Mapping[str, np.ndarray] | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if len(images) == 0:
             raise ConfigurationError("images pool must not be empty")
+        if fault_plan is not None:
+            engine.faults = FaultInjector(fault_plan)
         self.engine = engine
         self.schedule = schedule
         self.images = images
@@ -102,6 +112,28 @@ class LoadRunner:
             pool = self.scenario_pools.get(arrival.scenario, self.images)
         return pool[index % len(pool)]
 
+    @staticmethod
+    def _failed_outcome(
+        failure, arrival: Arrival, *, queue_wait_s: float, latency_s: float
+    ) -> RequestOutcome:
+        """One ``RequestFailed`` answer folded into a failed outcome."""
+        return RequestOutcome(
+            request_id=failure.request_id,
+            arrival_s=arrival.t,
+            queue_wait_s=queue_wait_s,
+            latency_s=latency_s,
+            exit_stage=-1,
+            ops=0.0,
+            energy_pj=0.0,
+            shed=False,
+            deadline_s=arrival.deadline_s,
+            deadline_met=False,
+            scenario=arrival.scenario,
+            priority=arrival.priority,
+            failed=True,
+            error=failure.error,
+        )
+
     # -- virtual-time mode -----------------------------------------------------
     def simulate(
         self,
@@ -120,6 +152,15 @@ class LoadRunner:
         requests are waiting or ``max_wait_s`` has passed since the
         window opened, priority classes board first, and the engine's
         shed policy sees the true virtual queue depth and predicted wait.
+
+        Chaos runs stay deterministic: the fault injector is reset at the
+        start, injected latency accumulates on the engine's virtual clock
+        (drained into the modeled service time per dispatch), and failed
+        requests become failed outcomes.  An *unprotected* engine (no
+        resilience policy) wedges on the first injected batch fault --
+        the exception kills the virtual worker, every not-yet-answered
+        arrival counts as dropped, and the report shows the outage
+        instead of hiding it.
         """
         if not ops_per_second > 0:
             raise ConfigurationError(
@@ -134,6 +175,11 @@ class LoadRunner:
         engine = self.engine
         policy = engine.policy
         max_batch = policy.max_batch_size
+        injector = engine.faults
+        if injector is not None:
+            injector.reset()
+        engine._virtual_clock = True
+        engine.pop_virtual_delay()
         outcomes: list[RequestOutcome] = []
         timeline: list[tuple[float, int]] = []
         #: indices into ``arrivals`` waiting for the server.
@@ -142,74 +188,133 @@ class LoadRunner:
         n = len(arrivals)
         server_free = 0.0
         service_ewma: float | None = None
-        while i < n or queued:
-            if queued:
-                now = server_free
-            else:
-                now = max(server_free, arrivals[i].t)
-            while i < n and arrivals[i].t <= now:
-                queued.append(i)
-                i += 1
-            if len(queued) < max_batch:
-                # Window stays open up to max_wait_s for the batch to fill.
-                close = now + policy.max_wait_s
-                while i < n and arrivals[i].t <= close and len(queued) < max_batch:
+        try:
+            while i < n or queued:
+                if queued:
+                    now = server_free
+                else:
+                    now = max(server_free, arrivals[i].t)
+                while i < n and arrivals[i].t <= now:
                     queued.append(i)
-                    now = arrivals[i].t
                     i += 1
                 if len(queued) < max_batch:
-                    now = close
-            depth = len(queued)
-            # Priority classes board first, FIFO within a class -- the
-            # same ordering MicroBatcher applies on the real path.
-            queued.sort(key=lambda idx: (-arrivals[idx].priority, idx))
-            members = queued[:max_batch]
-            queued = sorted(queued[max_batch:])
-            batch = [
-                engine._make_pending(
-                    self._payload(idx, arrivals[idx]),
-                    deadline_s=arrivals[idx].deadline_s,
-                    priority=arrivals[idx].priority,
-                )
-                for idx in members
-            ]
-            # Feed the shed policy the *virtual* service estimate so
-            # predicted-wait triggers are deterministic too (the engine
-            # would otherwise use its wall-clock EWMA).
-            engine._service_ewma_s = service_ewma
-            engine._process_batch(batch, queue_depth=depth)
-            responses = [p.ticket.result(timeout=0) for p in batch]
-            service_s = sum(r.ops for r in responses) / ops_per_second
-            timeline.append((now, depth))
-            server_free = now + service_s
-            per_request = service_s / len(batch)
-            service_ewma = (
-                per_request
-                if service_ewma is None
-                else 0.8 * service_ewma + 0.2 * per_request
-            )
-            for idx, response in zip(members, responses):
-                arrival = arrivals[idx]
-                latency = server_free - arrival.t
-                outcomes.append(
-                    RequestOutcome(
-                        request_id=response.request_id,
-                        arrival_s=arrival.t,
-                        queue_wait_s=now - arrival.t,
-                        latency_s=latency,
-                        exit_stage=response.exit_stage,
-                        ops=response.ops,
-                        energy_pj=response.energy_pj,
-                        shed=response.shed,
-                        deadline_s=arrival.deadline_s,
-                        deadline_met=(
-                            arrival.deadline_s is None
-                            or latency <= arrival.deadline_s
-                        ),
-                        scenario=arrival.scenario,
-                        priority=arrival.priority,
+                    # Window stays open up to max_wait_s for the batch to fill.
+                    close = now + policy.max_wait_s
+                    while (
+                        i < n
+                        and arrivals[i].t <= close
+                        and len(queued) < max_batch
+                    ):
+                        queued.append(i)
+                        now = arrivals[i].t
+                        i += 1
+                    if len(queued) < max_batch:
+                        now = close
+                depth = len(queued)
+                # Priority classes board first, FIFO within a class -- the
+                # same ordering MicroBatcher applies on the real path.
+                queued.sort(key=lambda idx: (-arrivals[idx].priority, idx))
+                members = queued[:max_batch]
+                queued = sorted(queued[max_batch:])
+                batch = []
+                batch_members = []
+                for idx in members:
+                    payload = self._payload(idx, arrivals[idx])
+                    if injector is not None:
+                        payload = injector.corrupt_image(idx, payload)
+                    try:
+                        pending = engine._make_pending(
+                            payload,
+                            deadline_s=arrivals[idx].deadline_s,
+                            priority=arrivals[idx].priority,
+                        )
+                    except InputValidationError as exc:
+                        if engine.resilience is None:
+                            raise
+                        # Intake rejection: a pre-failed ticket, accounted
+                        # in metrics/trace by the engine; fold it straight
+                        # into a failed outcome.
+                        ticket = engine._fail_intake(exc)
+                        failure = ticket.result(timeout=0)
+                        outcomes.append(
+                            self._failed_outcome(
+                                failure,
+                                arrivals[idx],
+                                queue_wait_s=now - arrivals[idx].t,
+                                latency_s=now - arrivals[idx].t,
+                            )
+                        )
+                        continue
+                    batch.append(pending)
+                    batch_members.append(idx)
+                if not batch:
+                    continue
+                # Feed the shed policy the *virtual* service estimate so
+                # predicted-wait triggers are deterministic too (the engine
+                # would otherwise use its wall-clock EWMA).
+                engine._service_ewma_s = service_ewma
+                try:
+                    engine._process_batch(batch, queue_depth=depth)
+                except Exception as exc:  # noqa: BLE001 -- wedge accounting
+                    # No resilience layer: the fault killed the (virtual)
+                    # worker.  Everything still queued or unscheduled is
+                    # stranded -- exactly the outage the report must show.
+                    _log.warning(
+                        "engine wedged at t=%.3fs: %s -- %d requests stranded",
+                        now, exc, n - len(outcomes),
                     )
+                    if not outcomes:
+                        raise
+                    break
+                responses = [p.ticket.result(timeout=0) for p in batch]
+                served = [r for r in responses if not r.failed]
+                service_s = (
+                    sum(r.ops for r in served) / ops_per_second
+                    + engine.pop_virtual_delay()
                 )
+                timeline.append((now, depth))
+                server_free = now + service_s
+                per_request = service_s / len(batch)
+                service_ewma = (
+                    per_request
+                    if service_ewma is None
+                    else 0.8 * service_ewma + 0.2 * per_request
+                )
+                for idx, response in zip(batch_members, responses):
+                    arrival = arrivals[idx]
+                    if response.failed:
+                        outcomes.append(
+                            self._failed_outcome(
+                                response,
+                                arrival,
+                                queue_wait_s=now - arrival.t,
+                                latency_s=server_free - arrival.t,
+                            )
+                        )
+                        continue
+                    latency = server_free - arrival.t
+                    outcomes.append(
+                        RequestOutcome(
+                            request_id=response.request_id,
+                            arrival_s=arrival.t,
+                            queue_wait_s=now - arrival.t,
+                            latency_s=latency,
+                            exit_stage=response.exit_stage,
+                            ops=response.ops,
+                            energy_pj=response.energy_pj,
+                            shed=response.shed,
+                            deadline_s=arrival.deadline_s,
+                            deadline_met=(
+                                arrival.deadline_s is None
+                                or latency <= arrival.deadline_s
+                            ),
+                            scenario=arrival.scenario,
+                            priority=arrival.priority,
+                            degraded=response.degraded,
+                        )
+                    )
+        finally:
+            engine._virtual_clock = False
         outcomes.sort(key=lambda o: o.request_id)
         self.last_outcomes = tuple(outcomes)
         return SLOReport.from_outcomes(
@@ -250,6 +355,9 @@ class LoadRunner:
             server = AsyncEngine(self.engine).start()
         elif not server.running:
             raise ConfigurationError("server must be running (call start())")
+        injector = self.engine.faults
+        if injector is not None:
+            injector.reset()
         tickets = []
         timeline: list[tuple[float, int]] = []
         try:
@@ -258,8 +366,11 @@ class LoadRunner:
                 delay = arrival.t - (perf_counter() - t0)
                 if delay > 0:
                     sleep(delay)
+                payload = self._payload(index, arrival)
+                if injector is not None:
+                    payload = injector.corrupt_image(index, payload)
                 ticket = server.submit(
-                    self._payload(index, arrival),
+                    payload,
                     deadline_s=arrival.deadline_s,
                     priority=arrival.priority,
                 )
@@ -277,6 +388,16 @@ class LoadRunner:
                         ticket.request_id,
                     )
                     continue
+                if response.failed:
+                    outcomes.append(
+                        self._failed_outcome(
+                            response,
+                            arrival,
+                            queue_wait_s=response.latency_s,
+                            latency_s=response.latency_s,
+                        )
+                    )
+                    continue
                 outcomes.append(
                     RequestOutcome(
                         request_id=response.request_id,
@@ -291,6 +412,7 @@ class LoadRunner:
                         deadline_met=not response.deadline_missed,
                         scenario=arrival.scenario,
                         priority=arrival.priority,
+                        degraded=response.degraded,
                     )
                 )
         finally:
@@ -427,6 +549,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="install a ShedPolicy(max_queue_depth=N) on the engine",
     )
     run.add_argument(
+        "--faults", default=None,
+        help="JSONL fault plan (repro.faults/v1) to inject during the run",
+    )
+    run.add_argument(
+        "--resilient", action="store_true",
+        help="install the default ResiliencePolicy (supervision, "
+        "isolation, retries, degraded fallback)",
+    )
+    run.add_argument(
         "--model-seed", type=int, default=7,
         help="training seed for the reference cascade (default: 7)",
     )
@@ -464,6 +595,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.common import Scale, get_datasets, get_trained
     from repro.serving.config import ServingConfig
     from repro.serving.controller import ShedPolicy
+    from repro.serving.resilience import ResiliencePolicy
 
     schedule = _schedule_from_args(args)
     print(schedule.describe())
@@ -477,7 +609,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else None
     )
     engine = InferenceEngine.from_config(
-        ServingConfig(model=trained, shed=shed)
+        ServingConfig(
+            model=trained,
+            shed=shed,
+            faults=FaultPlan.from_jsonl(args.faults) if args.faults else None,
+            resilience=ResiliencePolicy() if args.resilient else None,
+        )
     )
     runner = LoadRunner(engine, schedule, test.images)
     if args.mode == "sim":

@@ -70,6 +70,18 @@ class MetricsSnapshot:
     #: (:class:`~repro.serving.controller.ShedPolicy`); shed requests are
     #: still answered, so they also count in ``requests``.
     shed_requests: int = 0
+    #: Requests served at a stage-0 early exit by a degraded episode
+    #: (:class:`~repro.serving.resilience.ResiliencePolicy`); like shed,
+    #: they are still answered and also count in ``requests``.
+    degraded_requests: int = 0
+    #: Requests that resolved as failed (``RequestFailed``) -- these do
+    #: NOT count in ``requests`` (which stays "requests answered").
+    failed_requests: int = 0
+    #: Per-request re-dispatch attempts the resilience layer paid.
+    retries: int = 0
+    #: ``((cause, count), ...)`` breakdown of ``failed_requests``,
+    #: sorted by cause.
+    failed_by_cause: tuple[tuple[str, int], ...] = ()
 
     def exit_stage_fractions(self) -> np.ndarray:
         """Exit-stage histogram normalized to fractions (sums to 1)."""
@@ -95,6 +107,15 @@ class MetricsSnapshot:
         table.add_row(
             ["shed requests", f"{self.shed_requests} ({self.shed_fraction():.1%})"]
         )
+        if self.degraded_requests or self.failed_requests or self.retries:
+            causes = ", ".join(
+                f"{cause}:{count}" for cause, count in self.failed_by_cause
+            )
+            table.add_row(["degraded requests", self.degraded_requests])
+            table.add_row(
+                ["failed requests", f"{self.failed_requests} ({causes or '-'})"]
+            )
+            table.add_row(["retries", self.retries])
         fractions = "/".join(f"{f:.2f}" for f in self.exit_stage_fractions())
         table.add_row([f"exit fractions ({'/'.join(self.stage_names)})", fractions])
         table.add_row(["mean OPS / request", round(self.mean_ops, 1)])
@@ -135,6 +156,9 @@ class ServingMetrics:
         self._total_energy_pj = 0.0
         self._max_queue_depth = 0
         self._shed_requests = 0
+        self._degraded_requests = 0
+        self._failed_by_cause: dict[str, int] = {}
+        self._retries = 0
         self._latencies.clear()
         self._stage0_conf.clear()
         self._started_at: float | None = None
@@ -154,6 +178,7 @@ class ServingMetrics:
         stage0_confidences: np.ndarray | None = None,
         queue_depth: int | None = None,
         shed: bool = False,
+        degraded: bool = False,
     ) -> None:
         """Fold one dispatched micro-batch into the counters.
 
@@ -180,6 +205,9 @@ class ServingMetrics:
         shed:
             True when backpressure served this whole batch at a stage-0
             early exit (shedding is a per-dispatch decision).
+        degraded:
+            True when a degraded episode served this whole batch at a
+            stage-0 early exit (same per-dispatch granularity as shed).
         """
         now = perf_counter()
         size = int(exit_stages.shape[0])
@@ -200,6 +228,20 @@ class ServingMetrics:
                 self._max_queue_depth = int(queue_depth)
             if shed:
                 self._shed_requests += size
+            if degraded:
+                self._degraded_requests += size
+
+    def record_failure(self, cause: str) -> None:
+        """Count one request that resolved as failed, by cause."""
+        with self._lock:
+            self._failed_by_cause[cause] = (
+                self._failed_by_cause.get(cause, 0) + 1
+            )
+
+    def record_retry(self) -> None:
+        """Count one re-dispatch attempt the resilience layer paid."""
+        with self._lock:
+            self._retries += 1
 
     def snapshot(self) -> MetricsSnapshot:
         """Fold the counters into one consistent :class:`MetricsSnapshot`."""
@@ -218,6 +260,9 @@ class ServingMetrics:
             total_energy = self._total_energy_pj
             max_queue_depth = self._max_queue_depth
             shed_requests = self._shed_requests
+            degraded_requests = self._degraded_requests
+            failed_by_cause = tuple(sorted(self._failed_by_cause.items()))
+            retries = self._retries
         has_latency = latencies.size > 0
         return MetricsSnapshot(
             requests=requests,
@@ -252,6 +297,10 @@ class ServingMetrics:
             ),
             max_queue_depth=max_queue_depth,
             shed_requests=shed_requests,
+            degraded_requests=degraded_requests,
+            failed_requests=sum(c for _, c in failed_by_cause),
+            retries=retries,
+            failed_by_cause=failed_by_cause,
         )
 
     def __repr__(self) -> str:

@@ -55,6 +55,14 @@ class RequestOutcome:
     deadline_met: bool
     scenario: str | None = None
     priority: int = 0
+    #: True when the request resolved as ``RequestFailed`` -- answered
+    #: with a cause, not a label.  Failed outcomes are excluded from the
+    #: latency/cost statistics and from goodput.
+    failed: bool = False
+    #: Failure cause (``RequestFailed.error``) when ``failed``.
+    error: str | None = None
+    #: True when a degraded episode served this request at stage 0.
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -97,6 +105,17 @@ class SLOReport:
     max_queue_depth: int
     #: ``(dispatch time, queue depth at dispatch)`` samples.
     queue_depth_timeline: tuple[tuple[float, int], ...] = ()
+    #: Requests that resolved as failed (``RequestFailed``); disjoint
+    #: from ``answered`` and from ``dropped``.  (Defaults keep pre-chaos
+    #: v1 reports loadable.)
+    failed_count: int = 0
+    failed_fraction: float = 0.0
+    #: Answered requests served by a degraded stage-0 episode.
+    degraded_count: int = 0
+    degraded_fraction: float = 0.0
+    #: The chaos headline: requests answered (not failed, not dropped)
+    #: within the p99 SLO bound, over everything *submitted*.
+    availability: float = 1.0
 
     @classmethod
     def from_outcomes(
@@ -135,18 +154,30 @@ class SLOReport:
                 f"requests={scheduled} is fewer than the {len(outcomes)} "
                 "outcomes supplied"
             )
-        latencies = np.array([o.latency_s for o in outcomes], dtype=np.float64)
-        arrivals = np.array([o.arrival_s for o in outcomes], dtype=np.float64)
-        ops = np.array([o.ops for o in outcomes], dtype=np.float64)
-        energies = np.array([o.energy_pj for o in outcomes], dtype=np.float64)
+        served = [o for o in outcomes if not o.failed]
+        failed = len(outcomes) - len(served)
+        if not served:
+            raise ConfigurationError(
+                "cannot report on a run where every outcome failed "
+                "(no latency/cost statistics exist)"
+            )
+        # Latency/cost statistics cover *served* requests only: a failed
+        # request has no answer latency, and mixing quarantine timing
+        # into the percentiles would corrupt the SLO verdict.
+        latencies = np.array([o.latency_s for o in served], dtype=np.float64)
+        arrivals = np.array([o.arrival_s for o in served], dtype=np.float64)
+        ops = np.array([o.ops for o in served], dtype=np.float64)
+        energies = np.array([o.energy_pj for o in served], dtype=np.float64)
         if offered_span_s is None:
             span = float(arrivals.max())
         else:
             span = float(offered_span_s)
         duration = float((arrivals + latencies).max())
-        answered = len(outcomes)
-        in_time = sum(1 for o in outcomes if o.deadline_met)
-        shed = sum(1 for o in outcomes if o.shed)
+        answered = len(served)
+        in_time = sum(1 for o in served if o.deadline_met)
+        shed = sum(1 for o in served if o.shed)
+        degraded = sum(1 for o in served if o.degraded)
+        in_slo = int((latencies <= slo_p99_s).sum())
         p99 = float(np.quantile(latencies, 0.99, method="higher"))
         slo_met = p99 <= slo_p99_s
         achieved = answered / duration if duration > 0 else 0.0
@@ -155,7 +186,7 @@ class SLOReport:
             slo_p99_s=float(slo_p99_s),
             requests=scheduled,
             answered=answered,
-            dropped=scheduled - answered,
+            dropped=scheduled - answered - failed,
             offered_span_s=span,
             duration_s=duration,
             offered_rate_rps=scheduled / span if span > 0 else 0.0,
@@ -176,6 +207,11 @@ class SLOReport:
             mean_energy_pj=float(energies.mean()),
             max_queue_depth=max((d for _, d in timeline), default=0),
             queue_depth_timeline=timeline,
+            failed_count=failed,
+            failed_fraction=failed / scheduled,
+            degraded_count=degraded,
+            degraded_fraction=degraded / answered,
+            availability=in_slo / scheduled,
         )
 
     # -- presentation / serialization ------------------------------------------
@@ -203,6 +239,15 @@ class SLOReport:
         table.add_row(
             ["shed", f"{self.shed_count} ({self.shed_fraction:.1%})"]
         )
+        if self.failed_count or self.degraded_count:
+            table.add_row(
+                ["failed", f"{self.failed_count} ({self.failed_fraction:.1%})"]
+            )
+            table.add_row(
+                ["degraded",
+                 f"{self.degraded_count} ({self.degraded_fraction:.1%})"]
+            )
+            table.add_row(["availability", f"{self.availability:.2%}"])
         table.add_row(["deadline missed", self.deadline_missed])
         table.add_row(["max queue depth", self.max_queue_depth])
         table.add_row(["mean OPS / request", round(self.mean_ops, 1)])

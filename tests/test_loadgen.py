@@ -455,10 +455,12 @@ class TestPublicSurface:
             "AsyncEngine", "AsyncInferenceEngine", "CalibrationPoint",
             "CascadeResult", "CascadeStageRecord", "DeltaCalibration",
             "DeltaController", "DriftDetector", "DriftEvent",
-            "InferenceEngine", "InferenceResponse", "LoadRunner",
-            "MetricsSnapshot", "MicroBatchPolicy", "ModelEntry",
-            "ModelRegistry", "OperatingPoint", "OperatingTable",
-            "RegimeEntry", "RegimeSignature", "RequestOutcome",
+            "FaultInjector", "FaultPlan", "FaultSpec", "HealthStatus",
+            "InferenceEngine", "InferenceResponse", "InjectedFault",
+            "LoadRunner", "MetricsSnapshot", "MicroBatchPolicy",
+            "ModelEntry", "ModelRegistry", "OperatingPoint",
+            "OperatingTable", "RegimeEntry", "RegimeSignature",
+            "RequestFailed", "RequestOutcome", "ResiliencePolicy",
             "RetargetEvent", "STAGE0_QUANTILE_GRID", "SLOReport",
             "ServingConfig", "ServingMetrics", "ShedPolicy", "Ticket",
             "execute_cascade", "fold_exit_fractions",
