@@ -10,6 +10,7 @@ from repro.bench.suites import (
     ablations,
     adaptive,
     chaos,
+    fabric,
     figures,
     hotpath,
     loadgen,
@@ -23,6 +24,7 @@ __all__ = [
     "ablations",
     "adaptive",
     "chaos",
+    "fabric",
     "figures",
     "hotpath",
     "loadgen",

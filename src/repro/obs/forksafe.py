@@ -1,0 +1,50 @@
+"""After-fork lock reinitialization for observability primitives.
+
+:class:`~repro.obs.trace.TraceRecorder` and
+:class:`~repro.obs.metrics.MetricsRegistry` guard their state with
+``threading.Lock``.  ``fork()`` clones the *memory* of a lock but not
+the threads that would release it: a child forked while another thread
+holds the lock inherits a lock that is locked forever, and the child's
+first ``record()`` / ``inc()`` deadlocks.  The serving fabric defaults
+to the ``spawn`` start method for exactly this reason, but library code
+cannot force every embedder off ``fork`` -- so every lock-holding obs
+instance registers itself here, and one ``os.register_at_fork``
+``after_in_child`` hook gives each survivor a fresh, unlocked lock.
+
+Only the locks are reset.  Open file handles are still shared with the
+parent after a fork; a forked child that wants its own trace file must
+open its own recorder (the fabric's spawn workers always do).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+
+#: Live lock-holding instances; weak so registration never extends a
+#: recorder/registry lifetime.
+_instances: "weakref.WeakSet" = weakref.WeakSet()
+_guard = threading.Lock()
+_installed = False
+
+
+def register(instance) -> None:
+    """Track ``instance`` (exposing ``_reinit_locks()``) across forks.
+
+    The ``os.register_at_fork`` hook is installed once, lazily, on the
+    first registration; platforms without ``fork`` (no
+    ``register_at_fork``) degrade to a no-op.
+    """
+    global _installed
+    with _guard:
+        _instances.add(instance)
+        if not _installed and hasattr(os, "register_at_fork"):
+            os.register_at_fork(after_in_child=_reinit_all)
+            _installed = True
+
+
+def _reinit_all() -> None:
+    """Runs in the forked child: give every survivor unlocked locks."""
+    for instance in list(_instances):
+        instance._reinit_locks()

@@ -32,6 +32,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import forksafe
 
 #: JSON schema tag written by :meth:`MetricsRegistry.to_json`.
 METRICS_SCHEMA = "repro.metrics/v1"
@@ -232,6 +233,20 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._families: dict[str, _MetricFamily] = {}
+        forksafe.register(self)
+
+    def _reinit_locks(self) -> None:
+        """After-fork hook (:mod:`repro.obs.forksafe`).
+
+        Families deliberately share the registry's single lock (one
+        acquisition covers create-and-update), so the fresh lock must be
+        rebound into every existing family too -- resetting only the
+        registry's reference would leave families deadlocked on the
+        stale clone.
+        """
+        self._lock = threading.Lock()
+        for family in self._families.values():
+            family._lock = self._lock
 
     def _get_or_create(self, cls, name: str, help: str,
                        labels: tuple[str, ...], **kwargs) -> _MetricFamily:

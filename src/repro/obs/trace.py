@@ -29,6 +29,7 @@ from typing import IO, Iterable, Iterator
 import numpy as np
 
 from repro.errors import ConfigurationError, SerializationError
+from repro.obs import forksafe
 
 #: Schema tag written into every trace file's header record.
 TRACE_SCHEMA = "repro.trace/v1"
@@ -56,6 +57,7 @@ class TraceRecorder:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
+        forksafe.register(self)
         self._file: IO[str] | None = self.path.open("w")
         self._records = 0
         header = {
@@ -94,6 +96,11 @@ class TraceRecorder:
                 )
             self._file.write(line + "\n")
             self._records += 1
+
+    def _reinit_locks(self) -> None:
+        """After-fork hook (:mod:`repro.obs.forksafe`): the parent may
+        have held the lock at fork time; the clone must start unlocked."""
+        self._lock = threading.Lock()
 
     def flush(self) -> None:
         with self._lock:

@@ -12,9 +12,11 @@ latency percentiles, exit-stage histograms and energy, the adaptive loop
 (:class:`DriftDetector` + :class:`OperatingTable` +
 :class:`AdaptiveDeltaPolicy`) that detects distribution drift from live
 signals and retargets δ from precomputed per-regime operating curves,
-and the open-loop load generator (:class:`ArrivalSchedule` +
+the open-loop load generator (:class:`ArrivalSchedule` +
 :class:`LoadRunner` + :class:`SLOReport`) that measures throughput at a
-tail-latency SLO.
+tail-latency SLO, and the multi-replica :class:`ServingFabric` that
+scales the whole stack across worker processes over shared read-only
+parameters with fleet-level δ control, drift detection and supervision.
 
 Attribute access is lazy (PEP 562): :mod:`repro.cdl.network` imports the
 shared executor from :mod:`repro.serving.cascade`, so eagerly importing
@@ -48,6 +50,10 @@ _EXPORTS = {
     "InferenceResponse": "repro.serving.engine",
     "RequestFailed": "repro.serving.engine",
     "Ticket": "repro.serving.engine",
+    "FabricConfig": "repro.serving.fabric",
+    "FleetSnapshot": "repro.serving.fabric",
+    "ServingFabric": "repro.serving.fabric",
+    "SharedParams": "repro.serving.fabric",
     "FaultInjector": "repro.serving.faults",
     "FaultPlan": "repro.serving.faults",
     "FaultSpec": "repro.serving.faults",

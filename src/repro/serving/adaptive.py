@@ -129,10 +129,17 @@ class RegimeSignature:
         ``(len(grid),)``.  δ- and cap-independent for the built-in
         confidence policies, which makes them the stable half of the
         signal when the engine retargets δ.
+    count:
+        Observations behind the fingerprint (``0`` = unknown, e.g. a
+        signature loaded from a pre-count serialization).  Fractions are
+        *not* additive across windows of different sizes, so any
+        cross-replica aggregation must weight by this count --
+        :meth:`merge` does, and refuses countless signatures.
     """
 
     exit_fractions: np.ndarray
     stage0_quantiles: np.ndarray
+    count: int = 0
 
     @classmethod
     def from_cache(
@@ -149,13 +156,57 @@ class RegimeSignature:
             raise ConfigurationError("cannot fingerprint an empty sample")
         fractions = np.bincount(exits, minlength=num_stages) / exits.shape[0]
         quantiles = np.quantile(cache.stage0_confidences(), STAGE0_QUANTILE_GRID)
-        return cls(exit_fractions=fractions, stage0_quantiles=quantiles)
+        return cls(
+            exit_fractions=fractions,
+            stage0_quantiles=quantiles,
+            count=int(exits.shape[0]),
+        )
+
+    @classmethod
+    def merge(cls, signatures: "Sequence[RegimeSignature]") -> "RegimeSignature":
+        """Count-weighted merge of per-replica signatures into a fleet view.
+
+        Exit fractions are recovered to raw counts (``fractions * count``)
+        before summing, so the merged histogram is *exactly* the
+        histogram of the pooled observations -- a naive unweighted
+        average of fractions is wrong whenever the windows differ in
+        size, and the error feeds straight into the PSI drift score.
+        Stage-0 quantiles cannot be pooled exactly from quantiles alone;
+        the count-weighted mean per level is the standard approximation
+        and is exact when the replicas sample the same distribution.
+        """
+        if not signatures:
+            raise ConfigurationError("cannot merge zero signatures")
+        if any(s.count <= 0 for s in signatures):
+            raise ConfigurationError(
+                "merge needs an observation count on every signature; "
+                "fractions are not additive across unknown window sizes"
+            )
+        shapes = {s.exit_fractions.shape for s in signatures}
+        if len(shapes) != 1:
+            raise ConfigurationError(
+                f"cannot merge signatures with mixed stage counts: {shapes}"
+            )
+        counts = np.array([s.count for s in signatures], dtype=np.float64)
+        total = counts.sum()
+        fractions = (
+            np.sum([s.exit_fractions * s.count for s in signatures], axis=0) / total
+        )
+        quantiles = (
+            np.sum([s.stage0_quantiles * s.count for s in signatures], axis=0) / total
+        )
+        return cls(
+            exit_fractions=fractions,
+            stage0_quantiles=quantiles,
+            count=int(total),
+        )
 
     def to_dict(self) -> dict:
         return {
             "exit_fractions": [float(f) for f in self.exit_fractions],
             "stage0_quantiles": [float(q) for q in self.stage0_quantiles],
             "quantile_grid": list(STAGE0_QUANTILE_GRID),
+            "count": int(self.count),
         }
 
     @classmethod
@@ -174,6 +225,9 @@ class RegimeSignature:
             stage0_quantiles=np.asarray(
                 payload["stage0_quantiles"], dtype=np.float64
             ),
+            # Pre-count tables load as count=0 ("unknown"): still fine for
+            # scoring/matching, only merge() refuses them.
+            count=int(payload.get("count", 0)),
         )
 
 
@@ -319,6 +373,7 @@ class DriftDetector:
         return RegimeSignature(
             exit_fractions=counts / max(counts.sum(), 1),
             stage0_quantiles=np.quantile(confidences, STAGE0_QUANTILE_GRID),
+            count=int(counts.sum()),
         )
 
     def observe(
@@ -350,8 +405,26 @@ class DriftDetector:
         self.observations += 1
         if self.observations < self.min_observations:
             return None
+        return self._score(self.window_signature())
+
+    def observe_signature(self, signature: RegimeSignature) -> DriftEvent | None:
+        """Score one externally assembled window signature.
+
+        The fleet path: the serving fabric merges per-replica window
+        signatures count-weighted (:meth:`RegimeSignature.merge`) and
+        feeds the pooled view here, so one logical detector guards N
+        replicas.  Warm-up (``min_observations``) and the arm/patience
+        hysteresis behave exactly as :meth:`observe`.
+        """
+        self.observations += 1
+        if self.observations < self.min_observations:
+            return None
+        return self._score(signature)
+
+    def _score(self, observed: RegimeSignature) -> DriftEvent | None:
+        """Score an observed signature and run the hysteresis machine."""
         score = signature_distance(
-            self.window_signature(),
+            observed,
             self.reference,
             quantile_weight=self.quantile_weight,
         )
@@ -490,6 +563,7 @@ class RegimeEntry:
         return RegimeSignature(
             exit_fractions=fold_exit_fractions(fractions, max_stage),
             stage0_quantiles=self.signature.stage0_quantiles.copy(),
+            count=self.signature.count,
         )
 
     def to_calibration(

@@ -55,8 +55,13 @@ class ShedPolicy:
     Parameters
     ----------
     max_queue_depth:
-        Shed while more than this many requests are waiting at dispatch
-        (the dispatched batch plus the still-queued backlog).  Depth is
+        Shed while more than this many requests are *in the system* at
+        dispatch -- the unified queue-depth meaning: the in-flight
+        (dispatched) batch plus everything still waiting, transport
+        queue included on the async facade.  One definition across
+        facades (``InferenceEngine.queue_depth`` ==
+        ``AsyncEngine.queue_depth`` semantics) keeps a fleet-level
+        threshold unbiased by which facade serves a replica.  Depth is
         an exact, deterministic signal -- the one the simulated load
         runner and the gated benchmarks use.
     max_predicted_wait_s:

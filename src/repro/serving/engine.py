@@ -321,6 +321,11 @@ class InferenceEngine:
         #: EWMA of per-request service seconds (drives predicted-wait shedding).
         self._service_ewma_s: float | None = None
         self._shedding = False
+        #: Fleet override: a dispatcher that already decided to shed (on
+        #: *fleet* queue depth, which this engine cannot see) sets this
+        #: around _process_batch; the batch then serves at stage 0 with
+        #: normal shed accounting.
+        self._force_shed = False
         #: Exhausted-retry request failures since the last full-service
         #: success (the degraded-mode trigger).
         self._consecutive_failures = 0
@@ -330,6 +335,9 @@ class InferenceEngine:
         #: sleeping (the simulated load runner drains it per dispatch).
         self._virtual_clock = False
         self._virtual_delay_s = 0.0
+        #: Requests currently inside ``_process_batch`` -- the in-flight
+        #: half of the unified queue-depth meaning (waiting + in-flight).
+        self._inflight_count = 0
         if cfg.adaptive is not None:
             cfg.adaptive.prime(self)
 
@@ -489,8 +497,22 @@ class InferenceEngine:
         )
 
     def pending_count(self) -> int:
+        """Requests waiting in the batcher (excludes in-flight)."""
         with self._lock:
             return len(self._batcher)
+
+    def queue_depth(self) -> int:
+        """Unified queue depth: waiting requests plus the in-flight batch.
+
+        This is *the* depth meaning across the serving stack -- the same
+        number the dispatch path hands to :meth:`ShedPolicy.should_shed`
+        and :meth:`ServingMetrics.record_batch`, and the same meaning
+        :meth:`AsyncEngine.queue_depth` reports (with its transport
+        queue folded into the waiting half).  Keeping one definition is
+        what lets fleet-level shedding compare depths across facades and
+        replicas without a per-facade bias.
+        """
+        return self.pending_count() + self._inflight_count
 
     # -- dispatch ---------------------------------------------------------------
     def flush(self) -> int:
@@ -502,7 +524,9 @@ class InferenceEngine:
         while True:
             with self._lock:
                 batch = self._batcher.next_batch()
-                # Depth at dispatch: this batch plus whatever still waits.
+                # Unified depth at dispatch: in-flight (this batch) plus
+                # waiting -- the same meaning AsyncEngine.queue_depth()
+                # reports, with the transport queue in the waiting half.
                 depth = len(batch) + len(self._batcher)
             if not batch:
                 return served
@@ -539,6 +563,15 @@ class InferenceEngine:
         batch = [p for p in batch if not p.ticket.cancelled]
         if not batch:
             return
+        self._inflight_count = len(batch)
+        try:
+            self._process_batch_inflight(batch, queue_depth=queue_depth)
+        finally:
+            self._inflight_count = 0
+
+    def _process_batch_inflight(
+        self, batch: list[_Pending], *, queue_depth: int | None = None
+    ) -> None:
         policy = self.resilience
         if policy is None:
             self._dispatch_batch(batch, queue_depth=queue_depth)
@@ -767,7 +800,7 @@ class InferenceEngine:
             live=True,
             ready=self._degraded_remaining == 0,
             degraded=self._degraded_remaining > 0,
-            queue_depth=self.pending_count(),
+            queue_depth=self.queue_depth(),
             consecutive_failures=self._consecutive_failures,
         )
 
@@ -815,8 +848,8 @@ class InferenceEngine:
         else:
             delta = self.delta
             max_stage = None
-        shed = False
-        if self.shed is not None and queue_depth is not None:
+        shed = self._force_shed
+        if not shed and self.shed is not None and queue_depth is not None:
             predicted_wait = (
                 queue_depth * self._service_ewma_s
                 if self._service_ewma_s is not None
@@ -1126,12 +1159,18 @@ class AsyncEngine:
         )
 
     def queue_depth(self) -> int:
-        """Requests waiting right now (transport queue + batcher backlog).
+        """Unified queue depth: waiting + in-flight, one meaning per stack.
 
-        Approximate under concurrency -- ``qsize`` races submitters --
-        which is fine for backpressure signals and telemetry sampling.
+        Waiting covers the transport queue plus the batcher backlog; the
+        in-flight half is the batch currently inside ``_process_batch``
+        (tracked by the engine) -- the same definition
+        :meth:`InferenceEngine.queue_depth` reports and the dispatch
+        path hands to :class:`ShedPolicy` and the metrics, so shedding
+        thresholds mean the same requests-in-system count on both
+        facades.  Approximate under concurrency -- ``qsize`` races
+        submitters -- which is fine for backpressure and telemetry.
         """
-        return self._queue.qsize() + self.engine.pending_count()
+        return self._queue.qsize() + self.engine.queue_depth()
 
     def start(self) -> "AsyncEngine":
         if self.running:

@@ -199,6 +199,24 @@ class FaultPlan:
     def with_seed(self, seed: int) -> "FaultPlan":
         return replace(self, seed=int(seed))
 
+    def for_replica(self, replica_id: int, *, replicas: int | None = None) -> "FaultPlan":
+        """The same fault mix, statistically independent per replica.
+
+        Reusing one seed across N replicas makes every replica fire the
+        *identical* fault stream -- a correlated outage masquerading as
+        N independent ones.  ``np.random.SeedSequence((seed, replica_id))``
+        spreads the pair through its entropy pool, so sibling plans draw
+        from well-separated streams while any (plan, replica) pair stays
+        perfectly reproducible.  ``replicas`` is accepted for symmetry
+        with schedule splitting but does not affect the derivation.
+        """
+        if replica_id < 0:
+            raise ConfigurationError(
+                f"replica_id must be >= 0, got {replica_id}"
+            )
+        derived = np.random.SeedSequence((self.seed, int(replica_id)))
+        return replace(self, seed=int(derived.generate_state(1)[0]))
+
     def describe(self) -> str:
         """One human line per spec, e.g. for logs and CLIs."""
         if not self.specs:

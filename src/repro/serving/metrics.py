@@ -199,8 +199,10 @@ class ServingMetrics:
             :attr:`MetricsSnapshot.stage0_quantiles` (the adaptive drift
             signal); pass ``None`` when the engine is not collecting them.
         queue_depth:
-            Optional queue depth at dispatch time (this batch plus
-            whatever is still waiting); the lifetime maximum is exposed as
+            Optional queue depth at dispatch time, under the stack's one
+            unified meaning: in-flight (this batch) plus everything
+            still waiting, transport queue included on the async
+            facade.  The lifetime maximum is exposed as
             :attr:`MetricsSnapshot.max_queue_depth`.
         shed:
             True when backpressure served this whole batch at a stage-0

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -238,6 +238,29 @@ class ArrivalSchedule:
             duration_s=trace[-1].t,
             arrivals=trace,
         )
+
+    def for_replica(self, replica_id: int) -> "ArrivalSchedule":
+        """The same arrival process with a per-replica independent stream.
+
+        N replicas fed the parent seed verbatim would materialize the
+        *identical* arrival trace -- N copies of one workload, not N
+        workloads.  The replica seed is spread from
+        ``np.random.SeedSequence((seed, replica_id))`` so sibling traces
+        are statistically independent while every (schedule, replica)
+        pair stays reproducible.  Replay schedules are an explicit
+        trace; reseeding one cannot make it independent, so it refuses.
+        """
+        if self.kind == "replay":
+            raise ConfigurationError(
+                "a replay schedule is a fixed trace; split the trace "
+                "instead of deriving per-replica seeds"
+            )
+        if replica_id < 0:
+            raise ConfigurationError(
+                f"replica_id must be >= 0, got {replica_id}"
+            )
+        derived = np.random.SeedSequence((self.seed, int(replica_id)))
+        return replace(self, seed=int(derived.generate_state(1)[0]))
 
     @staticmethod
     def _check_common(*, rate_rps: float, duration_s: float) -> None:

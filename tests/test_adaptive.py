@@ -218,6 +218,95 @@ class TestDriftDetector:
             detector.observe(np.array([7]), np.array([0.5]))
 
 
+class TestSignatureMerge:
+    """Count-weighted cross-replica merge (the PR-9 bugfix)."""
+
+    def _split_signatures(self, sizes, seed=0):
+        """One pooled sample split into per-replica windows of given sizes."""
+        rng = np.random.default_rng(seed)
+        exits, conf = synthetic_batch(rng, "noise", size=sum(sizes))
+        parts, start = [], 0
+        for size in sizes:
+            sl = slice(start, start + size)
+            parts.append(
+                RegimeSignature(
+                    exit_fractions=np.bincount(exits[sl], minlength=3) / size,
+                    stage0_quantiles=np.quantile(
+                        conf[sl], STAGE0_QUANTILE_GRID
+                    ),
+                    count=size,
+                )
+            )
+            start += size
+        pooled_fractions = np.bincount(exits, minlength=3) / len(exits)
+        return parts, pooled_fractions
+
+    def test_merge_recovers_pooled_histogram_exactly(self):
+        parts, pooled = self._split_signatures([700, 60, 12])
+        merged = RegimeSignature.merge(parts)
+        np.testing.assert_allclose(merged.exit_fractions, pooled, atol=1e-12)
+        assert merged.count == 772
+
+    def test_unweighted_average_biases_psi(self):
+        # Regression: a 700-observation replica and a 12-observation
+        # replica merged by plain fraction averaging yield a histogram no
+        # window actually observed; the PSI against the true pooled
+        # histogram is materially wrong, while the count-weighted merge
+        # is exact.  (Uneven windows are the norm in a fleet -- replicas
+        # restart, shed, and dispatch unevenly.)
+        parts, pooled = self._split_signatures([700, 12], seed=3)
+        merged = RegimeSignature.merge(parts)
+        naive = np.mean([p.exit_fractions for p in parts], axis=0)
+        psi_merged = population_stability_index(pooled, merged.exit_fractions)
+        psi_naive = population_stability_index(pooled, naive)
+        assert psi_merged == pytest.approx(0.0, abs=1e-12)
+        assert psi_naive > psi_merged
+
+    def test_merge_single_is_identity(self):
+        parts, _ = self._split_signatures([64])
+        merged = RegimeSignature.merge(parts)
+        np.testing.assert_allclose(
+            merged.exit_fractions, parts[0].exit_fractions
+        )
+        assert merged.count == parts[0].count
+
+    def test_merge_validation(self):
+        good = RegimeSignature(
+            np.array([0.5, 0.3, 0.2]), np.linspace(0.4, 0.9, 5), count=32
+        )
+        with pytest.raises(ConfigurationError, match="zero"):
+            RegimeSignature.merge([])
+        countless = make_signature([0.5, 0.3, 0.2])  # count defaults to 0
+        with pytest.raises(ConfigurationError, match="count"):
+            RegimeSignature.merge([good, countless])
+        other = RegimeSignature(
+            np.array([0.6, 0.4]), np.linspace(0.4, 0.9, 5), count=8
+        )
+        with pytest.raises(ConfigurationError, match="stage counts"):
+            RegimeSignature.merge([good, other])
+
+    def test_observe_signature_gates_then_fires(self):
+        detector = DriftDetector(
+            reference_for("clean"), threshold=0.25, min_observations=3
+        )
+        rng = np.random.default_rng(9)
+        events = []
+        for i in range(6):
+            exits, conf = synthetic_batch(rng, "noise", size=256)
+            signature = RegimeSignature(
+                exit_fractions=np.bincount(exits, minlength=3) / 256,
+                stage0_quantiles=np.quantile(conf, STAGE0_QUANTILE_GRID),
+                count=256,
+            )
+            event = detector.observe_signature(signature)
+            if i < 2:
+                assert event is None, "min_observations must gate the score"
+            if event is not None:
+                events.append((i, event))
+        assert events, "a sustained shifted fleet signature must fire"
+        assert events[0][1].kind == "drift"
+
+
 class TestOperatingTable:
     def test_build_contents(self, table_setup):
         _, _, table = table_setup

@@ -1,0 +1,523 @@
+"""Multi-replica serving fabric: shared parameters, fleet control, chaos.
+
+The process-spawning tests keep fleets tiny (1-2 replicas, a few dozen
+requests) -- a replica boots in a couple of seconds and the point is the
+cross-process *contracts* (exact ledgers, no stranded tickets, span
+coverage), not throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.scenarios import Scenario
+from repro.serving import (
+    AdaptiveDeltaPolicy,
+    ArrivalSchedule,
+    DeltaController,
+    FaultPlan,
+    FaultSpec,
+    LoadRunner,
+    MicroBatchPolicy,
+    ModelRegistry,
+    OperatingTable,
+    RegimeSignature,
+    ResiliencePolicy,
+    ServingConfig,
+    InferenceEngine,
+)
+from repro.serving.fabric import (
+    FabricConfig,
+    ServingFabric,
+    SharedParams,
+    _SignatureTap,
+)
+
+DELTA = 0.6
+FAST = MicroBatchPolicy(max_batch_size=4, max_wait_s=0.005)
+
+
+def _fabric_config(trained, *, replicas=2, resilience=..., **kw) -> FabricConfig:
+    if resilience is ...:
+        resilience = ResiliencePolicy(max_retries=1)
+    fabric_kw = {
+        k: kw.pop(k)
+        for k in ("capacity_ops_per_s", "obs_dir", "report_every", "start_method")
+        if k in kw
+    }
+    kw.setdefault("policy", FAST)
+    kw.setdefault("delta", DELTA)
+    return FabricConfig(
+        config=ServingConfig(model=trained.cdln, resilience=resilience, **kw),
+        replicas=replicas,
+        **fabric_kw,
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet(trained_3c):
+    """One 2-replica fleet shared by the happy-path tests."""
+    fabric = ServingFabric(_fabric_config(trained_3c)).start()
+    yield fabric
+    fabric.stop()
+
+
+@pytest.fixture()
+def images(trained_3c):
+    shape = trained_3c.cdln.baseline.input_shape
+    return np.random.default_rng(0).standard_normal((16, *shape))
+
+
+class TestSharedParams:
+    def test_rehydrated_model_serves_identically(self, trained_3c, images):
+        params = SharedParams(trained_3c.cdln)
+        try:
+            clone = SharedParams.rehydrate(params.name)
+
+            def serve(model):
+                engine = InferenceEngine.from_config(
+                    ServingConfig(model=model, policy=FAST, delta=DELTA)
+                )
+                tickets = [engine.submit(img) for img in images[:8]]
+                engine.flush()
+                return [t.result(timeout=1.0) for t in tickets]
+
+            for a, b in zip(serve(trained_3c.cdln), serve(clone)):
+                assert a.exit_stage == b.exit_stage
+                assert a.confidence == pytest.approx(b.confidence)
+                assert a.ops == pytest.approx(b.ops)
+        finally:
+            params.dispose()
+
+    def test_views_are_readonly_and_exact(self):
+        payload = {
+            "w": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "nested": [np.ones(5, dtype=np.float32), "tag"],
+            "n": 7,
+        }
+        params = SharedParams(payload)
+        try:
+            assert params.num_arrays == 2
+            clone = SharedParams.rehydrate(params.name)
+            np.testing.assert_array_equal(clone["w"], payload["w"])
+            np.testing.assert_array_equal(clone["nested"][0], payload["nested"][0])
+            assert clone["nested"][1] == "tag" and clone["n"] == 7
+            assert not clone["w"].flags.writeable
+            with pytest.raises(ValueError):
+                clone["w"][0, 0] = 99.0
+        finally:
+            params.dispose()
+
+    def test_object_dtype_arrays_stay_inline(self):
+        payload = {"objs": np.array([{"a": 1}, None], dtype=object)}
+        params = SharedParams(payload)
+        try:
+            assert params.num_arrays == 0
+            clone = SharedParams.rehydrate(params.name)
+            assert clone["objs"][0] == {"a": 1}
+        finally:
+            params.dispose()
+
+    def test_dispose_is_idempotent(self):
+        params = SharedParams({"w": np.zeros(4)})
+        params.dispose()
+        params.dispose()
+
+
+class TestSignatureTap:
+    def test_window_trims_and_counts(self):
+        tap = _SignatureTap(num_stages=3, window=2)
+        assert tap.window_signature() is None
+        tap.after_batch(None, np.array([0, 0, 1]), np.array([0.9, 0.8, 0.4]))
+        tap.after_batch(None, np.array([2, 2]), np.array([0.1, 0.2]))
+        tap.after_batch(None, np.array([1]), np.array([0.5]))
+        sig = tap.window_signature()
+        # Window of 2: only the last two batches (3 observations) remain.
+        assert sig.count == 3
+        np.testing.assert_allclose(sig.exit_fractions, [0.0, 1 / 3, 2 / 3])
+        expected = np.quantile(
+            [0.1, 0.2, 0.5], [0.1, 0.25, 0.5, 0.75, 0.9]
+        )
+        np.testing.assert_allclose(sig.stage0_quantiles, expected)
+
+
+class TestFabricConfigValidation:
+    def test_knob_bounds(self, trained_3c):
+        cfg = ServingConfig(model=trained_3c.cdln, delta=DELTA)
+        with pytest.raises(ConfigurationError, match="replicas"):
+            FabricConfig(config=cfg, replicas=0).validate()
+        with pytest.raises(ConfigurationError, match="start_method"):
+            FabricConfig(config=cfg, start_method="thread").validate()
+        with pytest.raises(ConfigurationError, match="capacity_ops_per_s"):
+            FabricConfig(config=cfg, capacity_ops_per_s=0.0).validate()
+        with pytest.raises(ConfigurationError, match="report_every"):
+            FabricConfig(config=cfg, report_every=0).validate()
+
+    def test_registry_configs_rejected(self, trained_3c):
+        registry = ModelRegistry()
+        registry.register("m", trained_3c.cdln)
+        cfg = ServingConfig(registry=registry, model_spec="m", delta=DELTA)
+        with pytest.raises(ConfigurationError, match="shared memory"):
+            FabricConfig(config=cfg).validate()
+
+    def test_uncalibrated_soft_controller_rejected(self, trained_3c):
+        cfg = ServingConfig(
+            model=trained_3c.cdln,
+            controller=DeltaController(target_mean_ops=1e5),
+        )
+        with pytest.raises(ConfigurationError, match="calibrate"):
+            ServingFabric(FabricConfig(config=cfg))
+
+
+class TestFleetServing:
+    def test_serves_with_exact_ledger(self, fleet, images):
+        before = fleet.fleet_snapshot()
+        tickets = [
+            fleet.submit(images[i % len(images)], priority=i % 3)
+            for i in range(24)
+        ]
+        results = [t.result(timeout=30.0) for t in tickets]
+        assert all(not r.failed for r in results)
+        assert {r.request_id for r in results} == {
+            t.request_id for t in tickets
+        }
+        snap = fleet.fleet_snapshot()
+        assert snap.requests - before.requests == 24
+        assert snap.failed_requests == before.failed_requests
+        assert sum(n for _, n in snap.requests_by_replica) == snap.requests
+        assert fleet.queue_depth() == 0
+
+    def test_latency_covers_fleet_queue_wait(self, fleet, images):
+        ticket = fleet.submit(images[0])
+        result = ticket.result(timeout=30.0)
+        assert result.latency_s > 0
+        assert result.queue_wait_s >= 0
+        assert result.latency_s >= result.queue_wait_s
+
+    def test_health_surface(self, fleet):
+        health = fleet.health()
+        assert health.live and health.ready and not health.degraded
+        assert health.worker_restarts == 0
+        assert health.restart_budget_remaining == 2 * 5
+        assert fleet.live_replicas == 2
+        assert fleet.running
+
+    def test_nan_image_fails_ticket_at_intake(self, fleet, images):
+        bad = images[0].copy()
+        bad.flat[0] = np.nan
+        ticket = fleet.submit(bad)
+        result = ticket.result(timeout=1.0)
+        assert result.failed and result.error == "invalid_input"
+        snap = fleet.fleet_snapshot()
+        assert ("invalid_input", 1) in snap.failed_by_cause
+
+    def test_wrong_shape_always_raises(self, fleet):
+        with pytest.raises(ShapeError):
+            fleet.submit(np.zeros((3, 3)))
+
+    def test_bad_deadline_rejected(self, fleet, images):
+        with pytest.raises(ConfigurationError, match="deadline_s"):
+            fleet.submit(images[0], deadline_s=0.0)
+
+    def test_double_start_rejected(self, fleet):
+        with pytest.raises(ConfigurationError, match="already started"):
+            fleet.start()
+
+    def test_priority_boards_ahead_of_backlog(self, trained_3c, images):
+        # One throttled replica => strictly serialized batches: the bulk
+        # backlog queues up, then the late high-priority request must
+        # board the next dispatched batch ahead of the remaining bulk.
+        config = _fabric_config(
+            trained_3c, replicas=1, capacity_ops_per_s=2e7
+        )
+        with ServingFabric(config) as fabric:
+            bulk = [fabric.submit(images[i % 16]) for i in range(12)]
+            while fabric.queue_depth() < 6:  # backlog exists
+                time.sleep(0.001)
+            urgent = fabric.submit(images[0], priority=10)
+            done_at = {}
+            for name, ticket in [("urgent", urgent)] + [
+                (i, t) for i, t in enumerate(bulk)
+            ]:
+                ticket.result(timeout=60.0)
+                done_at[name] = time.perf_counter()
+            assert done_at["urgent"] < done_at[len(bulk) - 1]
+
+    def test_queue_depth_counts_waiting_and_inflight(
+        self, trained_3c, images
+    ):
+        config = _fabric_config(
+            trained_3c, replicas=1, capacity_ops_per_s=2e7
+        )
+        with ServingFabric(config) as fabric:
+            tickets = [fabric.submit(images[i % 16]) for i in range(10)]
+            deep = max(
+                fabric.queue_depth() for _ in range(200) if not time.sleep(0.002)
+            )
+            assert deep > 0
+            for ticket in tickets:
+                ticket.result(timeout=60.0)
+            assert fabric.queue_depth() == 0
+
+    def test_submit_after_stop_raises(self, trained_3c, images):
+        fabric = ServingFabric(_fabric_config(trained_3c, replicas=1)).start()
+        fabric.stop()
+        with pytest.raises(ConfigurationError, match="not running"):
+            fabric.submit(images[0])
+        fabric.stop()  # idempotent
+
+
+class TestReplicaCrash:
+    def test_kill_fails_inflight_restarts_and_reconciles(
+        self, trained_3c, images, tmp_path
+    ):
+        config = _fabric_config(
+            trained_3c,
+            replicas=2,
+            obs_dir=tmp_path,
+            resilience=ResiliencePolicy(max_retries=1, max_restarts=5),
+        )
+        with ServingFabric(config) as fabric:
+            tickets = []
+            for i in range(80):
+                tickets.append(fabric.submit(images[i % 16]))
+                if i == 30:
+                    assert fabric.kill_replica(0)
+                time.sleep(0.002)
+            results = [t.result(timeout=60.0) for t in tickets]
+            ok = [r for r in results if not r.failed]
+            failed = [r for r in results if r.failed]
+            # The kill loses at most the one in-flight batch; everything
+            # else reroutes to the survivor or the restarted replica.
+            assert {r.error for r in failed} <= {"worker_crash"}
+            assert len(failed) <= FAST.max_batch_size
+            snap = fabric.fleet_snapshot()
+            assert snap.requests == len(ok)
+            assert snap.failed_requests == len(failed)
+            assert snap.restarts == 1
+            assert fabric.health().worker_restarts == 1
+            deadline = time.time() + 15.0
+            while fabric.live_replicas < 2 and time.time() < deadline:
+                time.sleep(0.02)
+            assert fabric.live_replicas == 2
+            after = [fabric.submit(images[i % 16]) for i in range(8)]
+            assert all(
+                not t.result(timeout=30.0).failed for t in after
+            )
+        # Span coverage: every request carries at least one span -- acked
+        # batches flushed worker-side, crash casualties got parent spans.
+        spans = []
+        for path in tmp_path.rglob("trace.jsonl"):
+            spans += [
+                json.loads(line)
+                for line in path.read_text().splitlines()
+                if line.strip()
+            ]
+        spans = [s for s in spans if s.get("kind") == "span"]
+        seen = {s["request_id"] for s in spans}
+        assert seen == {t.request_id for t in tickets + after}
+        crash_spans = [s for s in spans if s.get("error") == "worker_crash"]
+        assert len(crash_spans) == len(failed)
+        # Replica/session batch-id namespacing keeps ids collision-free.
+        assert len({(s["batch_id"], s["request_id"]) for s in spans}) == len(
+            spans
+        )
+
+    def test_restart_budget_exhaustion_fails_backlog_and_fast(
+        self, trained_3c, images
+    ):
+        config = _fabric_config(
+            trained_3c,
+            replicas=1,
+            capacity_ops_per_s=2e7,
+            resilience=ResiliencePolicy(max_retries=1, max_restarts=0),
+        )
+        with ServingFabric(config) as fabric:
+            tickets = [fabric.submit(images[i % 16]) for i in range(12)]
+            fabric.kill_replica(0)
+            results = [t.result(timeout=30.0) for t in tickets]
+            failed = [r for r in results if r.failed]
+            assert failed, "the kill must fail at least the in-flight batch"
+            assert {r.error for r in failed} <= {
+                "worker_crash", "restart_budget",
+            }
+            deadline = time.time() + 10.0
+            while fabric.live_replicas and time.time() < deadline:
+                time.sleep(0.02)
+            health = fabric.health()
+            assert not health.live and health.degraded
+            assert health.restart_budget_remaining == 0
+            late = fabric.submit(images[0])
+            late_result = late.result(timeout=1.0)
+            assert late_result.failed
+            assert late_result.error == "restart_budget"
+            snap = fabric.fleet_snapshot()
+            assert snap.requests + snap.failed_requests == 13
+
+    def test_unsupervised_fleet_raises_on_submit_when_dead(
+        self, trained_3c, images
+    ):
+        config = _fabric_config(trained_3c, replicas=1, resilience=None)
+        with ServingFabric(config) as fabric:
+            first = fabric.submit(images[0])
+            assert not first.result(timeout=30.0).failed
+            fabric.kill_replica(0)
+            deadline = time.time() + 10.0
+            while fabric.live_replicas and time.time() < deadline:
+                time.sleep(0.02)
+            with pytest.raises(RuntimeError, match="dead"):
+                fabric.submit(images[0])
+
+
+class TestFleetControl:
+    @pytest.fixture(scope="class")
+    def table(self, trained_3c_all_taps, tiny_test_set):
+        scenarios = [
+            Scenario(name="clean"),
+            Scenario(name="noise", corruptions=(("gaussian_noise", 1.0),)),
+        ]
+        return OperatingTable.build(
+            trained_3c_all_taps.cdln,
+            tiny_test_set,
+            scenarios,
+            reference_delta=DELTA,
+        )
+
+    def _controlled_fabric(self, trained, table, **kw) -> ServingFabric:
+        entry = table.entry(table.reference_regime)
+        target = entry.point_for_delta(DELTA).mean_ops
+        return ServingFabric(
+            FabricConfig(
+                config=ServingConfig(
+                    model=trained.cdln,
+                    policy=FAST,
+                    controller=DeltaController(
+                        target_mean_ops=target, delta=DELTA
+                    ),
+                    adaptive=AdaptiveDeltaPolicy(table),
+                    resilience=ResiliencePolicy(max_retries=1),
+                ),
+                **kw,
+            )
+        )
+
+    def test_prime_calibrates_fleet_controller(
+        self, trained_3c_all_taps, table
+    ):
+        fabric = self._controlled_fabric(trained_3c_all_taps, table)
+        assert not fabric.controller.needs_calibration
+        assert fabric.delta == pytest.approx(fabric.controller.delta)
+        assert fabric._detector is not None
+
+    def test_merged_drift_retargets_fleet(self, trained_3c_all_taps, table):
+        fabric = self._controlled_fabric(trained_3c_all_taps, table)
+        detector = fabric._detector
+        shifted = table.entry("noise").signature_at(
+            fabric.controller.delta, max_stage=None
+        )
+        if shifted.count <= 0:
+            shifted = RegimeSignature(
+                shifted.exit_fractions, shifted.stage0_quantiles, count=256
+            )
+        # Split the shifted fleet view unevenly across the two replicas;
+        # the count-weighted merge must reconstruct it exactly.
+        parts = [
+            RegimeSignature(
+                shifted.exit_fractions, shifted.stage0_quantiles, count=300
+            ),
+            RegimeSignature(
+                shifted.exit_fractions, shifted.stage0_quantiles, count=20
+            ),
+        ]
+        merged = RegimeSignature.merge(parts)
+        np.testing.assert_allclose(
+            merged.exit_fractions, shifted.exit_fractions
+        )
+        for rep, part in zip(fabric._replicas, parts):
+            rep.state = "live"
+            rep.last_signature = part
+        fired = False
+        for _ in range(detector.min_observations + detector.patience + 2):
+            with fabric._cond:
+                fabric._feed_drift_locked()
+            if fabric.adaptive.events:
+                fired = True
+                break
+        assert fired, "merged shifted signatures must trigger a retarget"
+        assert fabric.adaptive.current_regime == "noise"
+        event = fabric.adaptive.events[-1]
+        assert event.regime == "noise"
+        assert fabric.delta == pytest.approx(fabric.controller.delta)
+
+    def test_fleet_delta_control_end_to_end(
+        self, trained_3c_all_taps, table, images
+    ):
+        shape = trained_3c_all_taps.cdln.baseline.input_shape
+        pool = np.random.default_rng(3).standard_normal((16, *shape))
+        fabric = self._controlled_fabric(
+            trained_3c_all_taps, table, replicas=2
+        )
+        with fabric:
+            tickets = [fabric.submit(pool[i % 16]) for i in range(24)]
+            results = [t.result(timeout=30.0) for t in tickets]
+            assert all(not r.failed for r in results)
+            # The fleet controller folded every acked batch's measured
+            # cost into its feedback EWMA (1.0 is the untouched prior --
+            # real traffic essentially never lands on it exactly).
+            assert 0.0 <= fabric.delta <= 1.0
+            assert fabric.controller._cost_ratio != 1.0
+
+
+class TestReplicaIndependence:
+    """Per-replica seed derivation: N independent streams, reproducibly."""
+
+    def test_fault_plan_streams_are_disjoint_and_stable(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="request_error", rate=0.5),), seed=7
+        )
+        seeds = {plan.for_replica(i).seed for i in range(8)}
+        assert len(seeds) == 8 and plan.seed not in seeds
+        assert plan.for_replica(3) == plan.for_replica(3)
+        with pytest.raises(ConfigurationError):
+            plan.for_replica(-1)
+
+    def test_arrival_schedules_decorrelate(self):
+        schedule = ArrivalSchedule.poisson(
+            rate_rps=200.0, duration_s=0.5, seed=11
+        )
+        a = [x.t for x in schedule.for_replica(0).materialize()]
+        b = [x.t for x in schedule.for_replica(1).materialize()]
+        assert a != b
+        again = [x.t for x in schedule.for_replica(0).materialize()]
+        assert a == again
+        with pytest.raises(ConfigurationError, match="replay"):
+            ArrivalSchedule.replay(
+                arrivals=schedule.materialize()
+            ).for_replica(0)
+
+
+class TestLoadRunnerIntegration:
+    def test_open_loop_report_reconciles_with_fleet(
+        self, trained_3c, images
+    ):
+        fabric = ServingFabric(
+            _fabric_config(trained_3c, replicas=2)
+        ).start()
+        try:
+            schedule = ArrivalSchedule.poisson(
+                rate_rps=150.0, duration_s=0.6, seed=5, deadline_s=1.0
+            )
+            runner = LoadRunner(fabric, schedule, images)
+            report = runner.run(slo_p99_s=1.0, server=fabric)
+            assert report.dropped == 0
+            snap = fabric.fleet_snapshot()
+            assert report.answered == snap.requests
+            assert report.failed_count == snap.failed_requests
+            assert report.requests == snap.requests + snap.failed_requests
+        finally:
+            fabric.stop()

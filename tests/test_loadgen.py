@@ -455,14 +455,16 @@ class TestPublicSurface:
             "AsyncEngine", "AsyncInferenceEngine", "CalibrationPoint",
             "CascadeResult", "CascadeStageRecord", "DeltaCalibration",
             "DeltaController", "DriftDetector", "DriftEvent",
-            "FaultInjector", "FaultPlan", "FaultSpec", "HealthStatus",
+            "FabricConfig", "FaultInjector", "FaultPlan", "FaultSpec",
+            "FleetSnapshot", "HealthStatus",
             "InferenceEngine", "InferenceResponse", "InjectedFault",
             "LoadRunner", "MetricsSnapshot", "MicroBatchPolicy",
             "ModelEntry", "ModelRegistry", "OperatingPoint",
             "OperatingTable", "RegimeEntry", "RegimeSignature",
             "RequestFailed", "RequestOutcome", "ResiliencePolicy",
             "RetargetEvent", "STAGE0_QUANTILE_GRID", "SLOReport",
-            "ServingConfig", "ServingMetrics", "ShedPolicy", "Ticket",
+            "ServingConfig", "ServingFabric", "ServingMetrics",
+            "SharedParams", "ShedPolicy", "Ticket",
             "execute_cascade", "fold_exit_fractions",
             "population_stability_index", "signature_distance",
             "simulate_exit_stages",

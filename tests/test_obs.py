@@ -14,6 +14,7 @@ The three contracts this file pins down:
 """
 
 import json
+import os
 import threading
 
 import numpy as np
@@ -569,3 +570,69 @@ class TestCli:
         path.write_text('{"kind": "span"}\n')
         assert cli.main(["summary", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestForkSafety:
+    """After-fork lock reinitialization (``repro.obs.forksafe``).
+
+    ``fork()`` clones a held ``threading.Lock`` in the locked state with
+    no thread left to release it; without the hook, the child's first
+    ``record()`` / ``inc()`` deadlocks.
+    """
+
+    def test_instances_register_on_construction(self, tmp_path):
+        from repro.obs import forksafe
+
+        recorder = TraceRecorder(tmp_path / "t.jsonl")
+        registry = MetricsRegistry()
+        assert recorder in forksafe._instances
+        assert registry in forksafe._instances
+        recorder.close()
+
+    def test_reinit_replaces_held_locks(self, tmp_path):
+        from repro.obs import forksafe
+
+        recorder = TraceRecorder(tmp_path / "t.jsonl")
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total")
+        # Simulate forking while another thread holds both locks.
+        recorder._lock.acquire()
+        registry._lock.acquire()
+        forksafe._reinit_all()
+        assert recorder._lock.acquire(blocking=False)
+        recorder._lock.release()
+        assert registry._lock.acquire(blocking=False)
+        registry._lock.release()
+        # Families share the registry lock; the fresh one must be rebound
+        # into existing families or they stay deadlocked on the stale clone.
+        assert counter._lock is registry._lock
+        recorder.record({"kind": "span"})  # usable after reinit
+        counter.inc()
+        recorder.close()
+
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="platform has no fork()"
+    )
+    def test_forked_child_does_not_deadlock(self, tmp_path):
+        import signal
+
+        registry = MetricsRegistry()
+        counter = registry.counter("forked_total")
+        registry._lock.acquire()  # the poisoned-at-fork condition
+        try:
+            pid = os.fork()
+        except OSError:
+            registry._lock.release()
+            pytest.skip("fork not permitted in this environment")
+        if pid == 0:  # child
+            status = 1
+            try:
+                signal.alarm(10)  # deadlock => killed by SIGALRM, not hung
+                counter.inc()  # would deadlock without the at-fork hook
+                status = 0
+            finally:
+                os._exit(status)
+        registry._lock.release()
+        _, wait_status = os.waitpid(pid, 0)
+        assert os.WIFEXITED(wait_status), "child was killed, not exited"
+        assert os.WEXITSTATUS(wait_status) == 0

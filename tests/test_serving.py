@@ -168,6 +168,34 @@ class TestEngineParity:
         assert snap.latency_p95_s >= snap.latency_p50_s >= 0
         assert "Serving metrics" in snap.render()
 
+    def test_queue_depth_counts_waiting_plus_inflight(
+        self, trained_3c, tiny_test_set
+    ):
+        """The unified depth meaning: a batch being served still occupies
+        the queue (waiting + in-flight), on every facade."""
+        engine = InferenceEngine.from_config(
+            ServingConfig(
+                model=trained_3c.cdln,
+                delta=0.6,
+                policy=MicroBatchPolicy(max_batch_size=4),
+            )
+        )
+        for image in tiny_test_set.images[:6]:
+            engine.submit(image)
+        assert engine.queue_depth() == engine.pending_count() == 6
+        observed = []
+        inner = engine._process_batch_inflight
+
+        def spy(batch, *, queue_depth=None):
+            observed.append(engine.queue_depth())
+            return inner(batch, queue_depth=queue_depth)
+
+        engine._process_batch_inflight = spy
+        engine.flush()
+        # First batch: 4 in flight + 2 waiting; second: 2 in flight.
+        assert observed == [6, 2]
+        assert engine.queue_depth() == 0
+
 
 class TestAsyncFacade:
     def test_async_matches_offline(self, trained_3c, tiny_test_set):
