@@ -11,3 +11,11 @@ def test_adaptive_drift_response(run_spec):
 
 def test_adaptive_false_triggers(run_spec):
     run_spec("adaptive_false_triggers")
+
+
+def test_adaptive_unknown_regime(run_spec):
+    run_spec("adaptive_unknown_regime")
+
+
+def test_adaptive_gradual_ramp(run_spec):
+    run_spec("adaptive_gradual_ramp")

@@ -219,3 +219,277 @@ def _check_false_triggers(res: BenchResult) -> None:
     assert res.metrics["max_drift_score"] < 0.25
     for result in res.payload["results"]:
         assert result.hard_cap_held
+
+
+@benchmark(
+    "adaptive_unknown_regime",
+    group=GROUP,
+    title="Adaptive serving -- unknown-regime learning vs frozen table vs scheduled",
+    rounds=2,
+    tiers={
+        "tiny": {"num_batches": 60, "batch_size": 32},
+        "small": {"num_batches": 60, "batch_size": 48},
+        "full": {"num_batches": 72, "batch_size": 64},
+    },
+    tolerances={
+        "budget_violations": Tolerance(),
+        "learning_error": Tolerance(abs=0.08),
+        "frozen_error": Tolerance(abs=0.10),
+        "scheduled_error": Tolerance(abs=0.75),
+        "frozen_to_learning_ratio": Tolerance(rel=0.75),
+        "learned_regimes": Tolerance(),
+        "overhead_per_request_ratio": Tolerance(abs=0.05),
+    },
+)
+def bench_unknown_regime(ctx: BenchContext) -> BenchResult:
+    """A sudden shift to a regime the operating table has never seen
+    (the offline table only knows clean traffic), served three ways:
+    live mini-calibration, the frozen table, scheduled recalibration."""
+    trained = get_trained("mnist_3c", ctx.scale, ctx.seed, attach="all")
+    _, test = get_datasets(ctx.scale, ctx.seed)
+    num_batches = int(ctx.params.get("num_batches", 60))
+    batch_size = int(ctx.params.get("batch_size", 32))
+    shift_at = max(2, num_batches // 10)
+    scenario = Scenario(
+        name="gaussian_noise@1", corruptions=(("gaussian_noise", 1.0),)
+    )
+    clean_only = [Scenario(name="clean", seed=ctx.seed)]
+    schedule = DriftSchedule.sudden(shift_at)
+    args = dict(
+        batch_size=batch_size,
+        num_batches=num_batches,
+        rng=ctx.seed,
+        delta=DELTA,
+    )
+    learning = budgeted_drift_replay(
+        trained.cdln,
+        test,
+        scenario,
+        schedule,
+        learning=True,
+        table_scenarios=clean_only,
+        learn_samples=32,
+        unknown_distance=0.5,
+        **args,
+    )
+    frozen = budgeted_drift_replay(
+        trained.cdln,
+        test,
+        scenario,
+        schedule,
+        adaptive=True,
+        table_scenarios=clean_only,
+        **args,
+    )
+    scheduled = budgeted_drift_replay(
+        trained.cdln,
+        test,
+        scenario,
+        schedule,
+        recalibrate_every=max(2, num_batches // 4),
+        **args,
+    )
+    requests = float(num_batches * batch_size)
+    text = "\n\n".join(
+        [
+            "Learning (mini-calibration past the match cutoff):\n"
+            + learning.render(),
+            "Frozen clean-only table:\n" + frozen.render(),
+            "Scheduled recalibration:\n" + scheduled.render(),
+        ]
+    )
+    return BenchResult(
+        metrics={
+            "budget_violations": float(
+                learning.budget_violations
+                + frozen.budget_violations
+                + scheduled.budget_violations
+            ),
+            "learning_error": learning.post_shift_budget_error(),
+            "frozen_error": frozen.post_shift_budget_error(),
+            "scheduled_error": scheduled.post_shift_budget_error(),
+            "frozen_to_learning_ratio": (
+                frozen.post_shift_budget_error()
+                / max(learning.post_shift_budget_error(), 1e-9)
+            ),
+            "learned_regimes": float(learning.learned_regimes),
+            # The one-off mini-calibration cost per served request, as a
+            # fraction of the soft target -- the amortized learning bill.
+            "overhead_per_request_ratio": (
+                learning.total_overhead_ops
+                / requests
+                / learning.target_mean_ops
+            ),
+        },
+        units=3 * requests,
+        text=text,
+        payload={
+            "learning": learning,
+            "frozen": frozen,
+            "scheduled": scheduled,
+        },
+    )
+
+
+@bench_unknown_regime.check
+def _check_unknown_regime(res: BenchResult) -> None:
+    learning = res.payload["learning"]
+    frozen = res.payload["frozen"]
+    scheduled = res.payload["scheduled"]
+    assert learning.hard_cap_held and frozen.hard_cap_held
+    assert scheduled.hard_cap_held
+    # The acceptance story: live learning holds the post-shift budget...
+    assert learning.post_shift_budget_error() <= 0.15
+    # ...where the frozen table, EWMA feedback and all, is >= 3x worse.
+    assert (
+        frozen.post_shift_budget_error()
+        >= 3.0 * learning.post_shift_budget_error()
+    )
+    # Exactly one regime was fitted online, its scoring pass charged to
+    # overhead (and therefore visible in the fair error), never to the
+    # served mean.
+    assert learning.learned_regimes == 1
+    assert learning.total_overhead_ops > 0.0
+    assert frozen.total_overhead_ops == 0.0
+    assert learning.post_shift_budget_error(
+        include_overhead=False
+    ) <= learning.post_shift_budget_error()
+
+
+#: Detector settings the gradual-ramp bench pins, tuned under the bench
+#: compute policy (float32): a wide smoothing window so tiny-batch PSI
+#: noise cannot flap the level signal, and a slope the ramps sustain but
+#: stationary clean noise cannot -- counted only while the score sits
+#: above the elevation floor ("elevated and still climbing").
+RATE_DETECTOR_KWARGS = {
+    "window": 8,
+    "rate_threshold": 0.005,
+    "rate_window": 6,
+    "rate_patience": 3,
+    "rate_floor_fraction": 0.5,
+}
+
+
+@benchmark(
+    "adaptive_gradual_ramp",
+    group=GROUP,
+    title="Adaptive serving -- drift-rate trigger on slow ramps",
+    rounds=2,
+    tiers={
+        "tiny": {"num_batches": 40, "batch_size": 64},
+        "small": {"num_batches": 40, "batch_size": 64},
+        "full": {"num_batches": 48, "batch_size": 64},
+    },
+    tolerances={
+        "budget_violations": Tolerance(),
+        "rate_first_ramps": Tolerance(),
+        "level_only_retargets": Tolerance(),
+        "false_triggers": Tolerance(),
+        "mean_detection_batches": Tolerance(abs=8),
+    },
+)
+def bench_gradual_ramp(ctx: BenchContext) -> BenchResult:
+    """Slow ramps the level detector never catches, three slopes, plus a
+    level-only control arm and clean streams: the drift-rate signal must
+    fire on every ramp and stay quiet otherwise."""
+    trained = get_trained("mnist_3c", ctx.scale, ctx.seed, attach="all")
+    _, test = get_datasets(ctx.scale, ctx.seed)
+    num_batches = int(ctx.params.get("num_batches", 40))
+    batch_size = int(ctx.params.get("batch_size", 32))
+    scenario = Scenario(
+        name="gaussian_noise@1", corruptions=(("gaussian_noise", 1.0),)
+    )
+    ramp_start = 4
+    spans = (68, 76, 84)  # ramp lengths: mix still ~<0.5 at stream end
+    args = dict(
+        batch_size=batch_size,
+        num_batches=num_batches,
+        delta=DELTA,
+        adaptive=True,
+    )
+    ramps = [
+        budgeted_drift_replay(
+            trained.cdln,
+            test,
+            scenario,
+            DriftSchedule.gradual(ramp_start, ramp_start + span),
+            rng=ctx.seed,
+            detector_kwargs=RATE_DETECTOR_KWARGS,
+            **args,
+        )
+        for span in spans
+    ]
+    # Control arm: the same slowest ramp, same smoothing window, rate
+    # signal disabled -- the level detector alone must sleep through it.
+    level_only = budgeted_drift_replay(
+        trained.cdln,
+        test,
+        scenario,
+        DriftSchedule.gradual(ramp_start, ramp_start + spans[-1]),
+        rng=ctx.seed,
+        detector_kwargs={"window": RATE_DETECTOR_KWARGS["window"]},
+        **args,
+    )
+    clean = [
+        budgeted_drift_replay(
+            trained.cdln,
+            test,
+            scenario,
+            DriftSchedule.sudden(num_batches + 1),
+            rng=ctx.seed + 100 + i,
+            detector_kwargs=RATE_DETECTOR_KWARGS,
+            **args,
+        )
+        for i in range(3)
+    ]
+    rate_first = sum(
+        1
+        for r in ramps
+        if r.retarget_triggers and r.retarget_triggers[0] == "rate"
+    )
+    detections = [
+        float(r.retarget_observations[0])
+        for r in ramps
+        if r.retarget_observations
+    ]
+    text = (
+        f"{len(ramps)} ramp(s) x {num_batches} batches: "
+        f"{rate_first}/{len(ramps)} rate-triggered, first detection at "
+        f"mean batch {float(np.mean(detections)):.1f}; level-only control "
+        f"{level_only.retargets} retarget(s); "
+        f"{sum(r.retargets for r in clean)} false trigger(s) on "
+        f"{len(clean)} clean stream(s)"
+    )
+    return BenchResult(
+        metrics={
+            "budget_violations": float(
+                sum(r.budget_violations for r in ramps + clean)
+                + level_only.budget_violations
+            ),
+            "rate_first_ramps": float(rate_first),
+            "level_only_retargets": float(level_only.retargets),
+            "false_triggers": float(sum(r.retargets for r in clean)),
+            "mean_detection_batches": float(np.mean(detections)),
+        },
+        units=float((len(ramps) + len(clean) + 1) * num_batches * batch_size),
+        text=text,
+        payload={"ramps": ramps, "level_only": level_only, "clean": clean},
+    )
+
+
+@bench_gradual_ramp.check
+def _check_gradual_ramp(res: BenchResult) -> None:
+    ramps = res.payload["ramps"]
+    level_only = res.payload["level_only"]
+    clean = res.payload["clean"]
+    for r in ramps + clean + [level_only]:
+        assert r.hard_cap_held
+    # Every ramp is caught, and by the rate signal, not the level one.
+    assert all(
+        r.retarget_triggers and r.retarget_triggers[0] == "rate"
+        for r in ramps
+    )
+    # The level detector alone sleeps through the slowest ramp...
+    assert level_only.retargets == 0
+    # ...and the rate signal adds zero false triggers on clean streams.
+    assert sum(r.retargets for r in clean) == 0

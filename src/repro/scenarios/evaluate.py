@@ -379,6 +379,9 @@ class DriftPhaseStats:
     overhead_ops: float = 0.0
     #: Drift-detector score after this batch (adaptive replays only).
     drift_score: float | None = None
+    #: Drift-rate estimate (robust slope of the score) after this batch
+    #: (adaptive replays with a rate-enabled detector only).
+    drift_rate: float | None = None
     #: Operating regime the controller served this batch under
     #: (adaptive replays only).
     regime: str | None = None
@@ -406,6 +409,13 @@ class DriftReplayResult:
     recalibrations: int
     retargets: int = 0
     offline_table_ops: float = 0.0
+    #: Regimes mini-calibrated online during the replay (learning only).
+    learned_regimes: int = 0
+    #: Detector signal behind each retarget, in order ("level" / "rate").
+    retarget_triggers: tuple[str, ...] = ()
+    #: Detector observation count at each retarget (resets on rebase, so
+    #: the first entry is the batch budget the detection consumed).
+    retarget_observations: tuple[int, ...] = ()
 
     @property
     def hard_cap_held(self) -> bool:
@@ -523,6 +533,9 @@ class DriftReplayResult:
             "retargets": self.retargets,
             "overhead_ops": self.total_overhead_ops,
             "offline_table_ops": self.offline_table_ops,
+            "learned_regimes": self.learned_regimes,
+            "retarget_triggers": list(self.retarget_triggers),
+            "retarget_observations": list(self.retarget_observations),
             "phases": [
                 {
                     "batch": p.batch_index,
@@ -535,6 +548,7 @@ class DriftReplayResult:
                     "num_requests": p.num_requests,
                     "overhead_ops": p.overhead_ops,
                     "drift_score": p.drift_score,
+                    "drift_rate": p.drift_rate,
                     "regime": p.regime,
                 }
                 for p in self.phases
@@ -556,6 +570,13 @@ def budgeted_drift_replay(
     recalibrate_every: int | None = None,
     adaptive: bool = False,
     table_deltas: Sequence[float] | None = None,
+    table_scenarios: Sequence[Scenario] | None = None,
+    learning: bool = False,
+    unknown_distance: float | None = None,
+    learn_samples: int = 64,
+    learn_batches: int = 2,
+    detector_kwargs: dict | None = None,
+    table_path=None,
 ) -> DriftReplayResult:
     """The standard budgeted replay recipe (one definition for the CLI, the
     Robustness experiment and the drift bench): soft target at
@@ -571,11 +592,26 @@ def budgeted_drift_replay(
     adaptive bench suite measures.  The table's (offline, amortizable)
     build cost is recorded in
     :attr:`DriftReplayResult.offline_table_ops`.
+
+    ``table_scenarios`` overrides which regimes are tabulated offline --
+    e.g. a clean-*only* table models a deployment whose live mix was
+    never characterized (the unknown-regime head-to-head).  With
+    ``learning=True`` (implies ``adaptive``) the engine runs a
+    :class:`~repro.serving.regimes.LearningDeltaPolicy`: beyond the
+    ``unknown_distance`` match cutoff it mini-calibrates a new regime
+    from the last ``learn_batches`` served batches (at most
+    ``learn_samples`` images) and every OP of that pass lands in
+    :attr:`DriftPhaseStats.overhead_ops`.  ``detector_kwargs`` configures
+    the derived detector (e.g. ``rate_threshold`` for ramp detection) on
+    any adaptive replay; ``table_path`` persists the (growing) table
+    artifact atomically.
     """
     from dataclasses import replace
 
     from repro.serving.adaptive import DEFAULT_TABLE_GRID, OperatingTable
+    from repro.serving.regimes import MiniCalibrator
 
+    adaptive = adaptive or learning
     costs = cdln.path_cost_table()
     totals = costs.exit_totals()
     target = target_fraction * float(costs.baseline_cost.total)
@@ -591,10 +627,12 @@ def budgeted_drift_replay(
     table = None
     offline_ops = 0.0
     if adaptive:
-        regimes = [scenario] if scenario.is_clean else [
-            Scenario(name="clean", seed=scenario.seed),
-            scenario,
-        ]
+        if table_scenarios is not None:
+            regimes = list(table_scenarios)
+        elif scenario.is_clean:
+            regimes = [scenario]
+        else:
+            regimes = [Scenario(name="clean", seed=scenario.seed), scenario]
         table = OperatingTable.build(
             cdln,
             base,
@@ -604,6 +642,12 @@ def budgeted_drift_replay(
         )
         # One full scoring pass per regime over the base pool.
         offline_ops = len(regimes) * len(base) * float(totals[-1])
+    calibrator = None
+    if learning:
+        calibrator = MiniCalibrator(
+            max_samples=learn_samples,
+            deltas=tuple(table_deltas or DEFAULT_TABLE_GRID),
+        )
     result = replay_drift(
         cdln,
         stream,
@@ -612,6 +656,12 @@ def budgeted_drift_replay(
         delta=delta,
         recalibrate_every=None if adaptive else recalibrate_every,
         operating_table=table,
+        learning=learning,
+        unknown_distance=unknown_distance,
+        calibrator=calibrator,
+        learn_batches=learn_batches,
+        detector_kwargs=detector_kwargs,
+        table_path=table_path,
     )
     return replace(result, offline_table_ops=offline_ops) if adaptive else result
 
@@ -627,6 +677,12 @@ def replay_drift(
     recalibrate_every: int | None = None,
     operating_table=None,
     detector=None,
+    learning: bool = False,
+    unknown_distance: float | None = None,
+    calibrator=None,
+    learn_batches: int = 2,
+    detector_kwargs: dict | None = None,
+    table_path=None,
 ) -> DriftReplayResult:
     """Serve a drift stream through a real engine under a budget controller.
 
@@ -654,19 +710,33 @@ def replay_drift(
     detector:
         Optional preconfigured
         :class:`~repro.serving.adaptive.DriftDetector` for the adaptive
-        policy (default: derived from the table's reference regime).
+        policy (default: derived from the table's reference regime, with
+        ``detector_kwargs`` applied).
+    learning / unknown_distance / calibrator / learn_batches / table_path:
+        With ``learning=True`` the adaptive policy is a
+        :class:`~repro.serving.regimes.LearningDeltaPolicy`: past the
+        ``unknown_distance`` match cutoff it fits a new regime live (via
+        ``calibrator``, default :class:`~repro.serving.regimes.MiniCalibrator`)
+        from the last ``learn_batches`` served batches, persists the
+        grown table to ``table_path`` when set, and its mini-calibration
+        OPS are charged to the phase they occurred in.
     """
     from repro.serving.adaptive import AdaptiveDeltaPolicy
     from repro.serving.batching import MicroBatchPolicy
     from repro.serving.config import ServingConfig
     from repro.serving.controller import DeltaController
     from repro.serving.engine import InferenceEngine
+    from repro.serving.regimes import LearningDeltaPolicy
 
     if recalibrate_every is not None:
         check_positive_int(recalibrate_every, "recalibrate_every")
     if detector is not None and operating_table is None:
         raise ConfigurationError(
             "a drift detector is only used together with an operating_table"
+        )
+    if learning and operating_table is None:
+        raise ConfigurationError(
+            "regime learning needs an operating_table to grow"
         )
     if operating_table is not None and target_mean_ops is None:
         raise ConfigurationError(
@@ -686,7 +756,23 @@ def replay_drift(
         )
     adaptive = None
     if operating_table is not None:
-        adaptive = AdaptiveDeltaPolicy(operating_table, detector)
+        if learning:
+            learn_kwargs = {} if unknown_distance is None else {
+                "unknown_distance": unknown_distance
+            }
+            adaptive = LearningDeltaPolicy(
+                operating_table,
+                detector,
+                calibrator=calibrator,
+                learn_batches=learn_batches,
+                table_path=table_path,
+                detector_kwargs=detector_kwargs,
+                **learn_kwargs,
+            )
+        else:
+            adaptive = AdaptiveDeltaPolicy(
+                operating_table, detector, detector_kwargs=detector_kwargs
+            )
     engine = InferenceEngine.from_config(
         ServingConfig(
             model=cdln,
@@ -728,6 +814,10 @@ def replay_drift(
             overhead_pending += sample.shape[0] * full_pass_ops
             recalibrations += 1
         responses = engine.classify_many(batch.images)
+        if adaptive is not None:
+            # Mini-calibration passes triggered while serving this batch
+            # land in *this* phase's overhead -- never in served mean_ops.
+            overhead_pending += adaptive.pop_overhead_ops()
         ops = np.array([r.ops for r in responses])
         exits = np.array([r.exit_stage for r in responses])
         labels = np.array([r.label for r in responses])
@@ -747,6 +837,9 @@ def replay_drift(
                 overhead_ops=overhead_pending,
                 drift_score=(
                     adaptive.detector.last_score if adaptive is not None else None
+                ),
+                drift_rate=(
+                    adaptive.detector.last_rate if adaptive is not None else None
                 ),
                 regime=(
                     adaptive.current_regime if adaptive is not None else None
@@ -770,4 +863,17 @@ def replay_drift(
         ),
         recalibrations=recalibrations,
         retargets=len(adaptive.events) if adaptive is not None else 0,
+        learned_regimes=(
+            len(adaptive.learned) if isinstance(adaptive, LearningDeltaPolicy) else 0
+        ),
+        retarget_triggers=(
+            tuple(e.trigger for e in adaptive.events)
+            if adaptive is not None
+            else ()
+        ),
+        retarget_observations=(
+            tuple(e.observation for e in adaptive.events)
+            if adaptive is not None
+            else ()
+        ),
     )

@@ -39,6 +39,8 @@ technology model, δ is the runtime confidence threshold in [0, 1].
 from __future__ import annotations
 
 import json
+import math
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
@@ -65,8 +67,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _log = get_logger("serving.adaptive")
 
-#: JSON schema tag written into every serialized operating table.
-TABLE_SCHEMA = "repro.operating_table/v1"
+#: First-generation schema tag; artifacts written before regime learning.
+#: Loads forever -- v1 payloads simply have no ``learned`` flags and no
+#: null accuracies, so the upgrade is lossless.
+TABLE_SCHEMA_V1 = "repro.operating_table/v1"
+
+#: JSON schema tag written into every serialized operating table.  v2
+#: adds per-regime ``learned`` markers and permits ``accuracy: null`` on
+#: points fitted from unlabeled live traffic.
+TABLE_SCHEMA = "repro.operating_table/v2"
+
+#: Every schema :meth:`OperatingTable.from_dict` accepts.
+TABLE_SCHEMAS = (TABLE_SCHEMA_V1, TABLE_SCHEMA)
 
 #: Default δ grid swept when building operating tables (coarser than the
 #: controller's calibration grid; replays are exact either way).
@@ -112,6 +124,24 @@ def fold_exit_fractions(fractions: np.ndarray, max_stage: int | None) -> np.ndar
     folded[max_stage] = fractions[max_stage:].sum()
     folded[max_stage + 1 :] = 0.0
     return folded
+
+
+def robust_slope(values: Sequence[float]) -> float:
+    """Theil-Sen slope of a series: median of all pairwise slopes.
+
+    Agrees exactly with an OLS fit (``np.polyfit(x, y, 1)``) on noiseless
+    linear series, but a single outlier window cannot swing it the way it
+    swings least squares -- which matters because one weird micro-batch
+    inside the rolling window must not read as a sustained ramp.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1 or v.shape[0] < 2:
+        raise ConfigurationError(
+            f"slope needs a 1-d series of >= 2 values, got shape {v.shape}"
+        )
+    n = v.shape[0]
+    i, j = np.triu_indices(n, k=1)
+    return float(np.median((v[j] - v[i]) / (j - i)))
 
 
 @dataclass(frozen=True)
@@ -250,11 +280,18 @@ def signature_distance(
 class DriftEvent:
     """Emitted by :class:`DriftDetector` when the live window leaves the
     reference regime (``kind="drift"``) -- or returns to it after an
-    unhandled excursion (``kind="recovery"``)."""
+    unhandled excursion (``kind="recovery"``).
+
+    ``trigger`` records which signal fired a drift event: ``"level"``
+    (the score cleared ``threshold``) or ``"rate"`` (a sustained ramp in
+    the score cleared ``rate_threshold`` while the level stayed inside
+    the hysteresis band).
+    """
 
     observation: int
     score: float
     kind: str = "drift"
+    trigger: str = "level"
 
 
 class DriftDetector:
@@ -296,6 +333,24 @@ class DriftDetector:
     min_observations:
         Observations required before any scoring (a half-empty window
         would be all sampling noise).
+    rate_threshold:
+        Optional drift-*rate* trigger: the robust slope
+        (:func:`robust_slope`) of the last ``rate_window`` scores, in
+        score units per observation.  ``None`` (default) disables the
+        rate signal.  A slow ramp whose level never clears ``threshold``
+        still shows a sustained positive slope -- this catches it.
+    rate_window:
+        Scores the slope is estimated over (>= 3).
+    rate_patience:
+        Consecutive slope breaches required before a rate-triggered
+        event, so one steep window inside otherwise-flat noise cannot
+        fire.
+    rate_floor_fraction:
+        A rate breach only counts while the score itself sits at or
+        above ``threshold * rate_floor_fraction`` -- "elevated and still
+        climbing".  A stationary noisy score shows transient positive
+        slopes; requiring elevation keeps clean streams quiet without
+        raising ``rate_threshold`` past what slow ramps can clear.
     """
 
     def __init__(
@@ -308,6 +363,10 @@ class DriftDetector:
         patience: int = 1,
         quantile_weight: float = 2.0,
         min_observations: int = 3,
+        rate_threshold: float | None = None,
+        rate_window: int = 6,
+        rate_patience: int = 2,
+        rate_floor_fraction: float = 0.4,
     ) -> None:
         check_positive_int(window, "window")
         check_positive_int(patience, "patience")
@@ -319,6 +378,18 @@ class DriftDetector:
             raise ConfigurationError(
                 f"quantile_weight must be >= 0, got {quantile_weight}"
             )
+        if rate_threshold is not None and rate_threshold <= 0:
+            raise ConfigurationError(
+                f"rate_threshold must be > 0, got {rate_threshold}"
+            )
+        check_positive_int(rate_window, "rate_window")
+        if rate_window < 3:
+            raise ConfigurationError(
+                f"rate_window must be >= 3 for a meaningful slope, "
+                f"got {rate_window}"
+            )
+        check_positive_int(rate_patience, "rate_patience")
+        check_fraction(rate_floor_fraction, "rate_floor_fraction")
         self.reference = reference
         self.window = window
         self.threshold = float(threshold)
@@ -326,13 +397,20 @@ class DriftDetector:
         self.patience = patience
         self.quantile_weight = float(quantile_weight)
         self.min_observations = min_observations
+        self.rate_threshold = None if rate_threshold is None else float(rate_threshold)
+        self.rate_window = rate_window
+        self.rate_patience = rate_patience
+        self.rate_floor_fraction = float(rate_floor_fraction)
         self.observations = 0
         self.last_score: float | None = None
+        self.last_rate: float | None = None
         self._exit_counts: list[np.ndarray] = []
         self._confidences: list[np.ndarray] = []
+        self._scores: list[float] = []
         self._armed = True
         self._breach_streak = 0
         self._calm_streak = 0
+        self._rate_streak = 0
         #: Telemetry sink: the ``drift_score`` gauge plus
         #: ``drift_detected`` / ``drift_recovered`` events.  The engine
         #: rebinds this when telemetry is enabled.
@@ -429,18 +507,29 @@ class DriftDetector:
             quantile_weight=self.quantile_weight,
         )
         self.last_score = score
+        self._scores.append(score)
+        del self._scores[: -self.rate_window]
+        if self.rate_threshold is not None and len(self._scores) >= self.rate_window:
+            self.last_rate = robust_slope(self._scores)
         if self.observer.enabled:
             self.observer.set_gauge(
                 "drift_score",
                 score,
                 "Live drift score vs. the reference regime (PSI-scale).",
             )
+            if self.last_rate is not None:
+                self.observer.set_gauge(
+                    "drift_rate",
+                    self.last_rate,
+                    "Robust slope of the drift score (per observation).",
+                )
         if self._armed:
             breached = score >= self.threshold
             self._breach_streak = self._breach_streak + 1 if breached else 0
             if self._breach_streak >= self.patience:
                 self._armed = False
                 self._breach_streak = 0
+                self._rate_streak = 0
                 _log.info(
                     "drift detected at observation %d (score %.3f >= %.3f)",
                     self.observations,
@@ -454,6 +543,36 @@ class DriftDetector:
                     threshold=self.threshold,
                 )
                 return DriftEvent(observation=self.observations, score=score)
+            if self.rate_threshold is not None and self.last_rate is not None:
+                # "Elevated and still climbing": a stationary noisy score
+                # shows transient positive slopes too, so a rate breach
+                # only counts while the level itself sits above the floor.
+                ramping = (
+                    self.last_rate >= self.rate_threshold
+                    and score >= self.threshold * self.rate_floor_fraction
+                )
+                self._rate_streak = self._rate_streak + 1 if ramping else 0
+                if self._rate_streak >= self.rate_patience:
+                    self._armed = False
+                    self._rate_streak = 0
+                    _log.info(
+                        "drift ramp detected at observation %d "
+                        "(rate %.4f >= %.4f, score %.3f)",
+                        self.observations,
+                        self.last_rate,
+                        self.rate_threshold,
+                        score,
+                    )
+                    self.observer.event(
+                        "drift_detected",
+                        observation=self.observations,
+                        score=score,
+                        rate=self.last_rate,
+                        trigger="rate",
+                    )
+                    return DriftEvent(
+                        observation=self.observations, score=score, trigger="rate"
+                    )
         else:
             calm = score <= self.threshold * self.rearm_fraction
             self._calm_streak = self._calm_streak + 1 if calm else 0
@@ -481,11 +600,27 @@ class DriftDetector:
         self.reference = reference
         self._exit_counts.clear()
         self._confidences.clear()
+        self._scores.clear()
         self.observations = 0
         self.last_score = None
+        self.last_rate = None
         self._armed = True
         self._breach_streak = 0
         self._calm_streak = 0
+        self._rate_streak = 0
+
+    def rearm(self) -> None:
+        """Re-arm without touching the reference or the window.
+
+        For the fleet path: when a drift event's follow-up work (a
+        replica-side mini-calibration) is lost -- e.g. the chosen replica
+        died -- the detector must not stay silently disarmed; re-arming
+        lets the still-drifted window fire again and retry.
+        """
+        self._armed = True
+        self._breach_streak = 0
+        self._calm_streak = 0
+        self._rate_streak = 0
 
     def __repr__(self) -> str:
         return (
@@ -500,6 +635,12 @@ class OperatingPoint:
 
     ``mean_ops`` in scalar OPS per request, ``mean_energy_pj`` in pJ,
     ``exit_fractions`` the uncapped exit histogram at this δ.
+
+    ``accuracy`` is NaN on points fitted from unlabeled live traffic
+    (mini-calibration has no ground truth); it serializes as JSON
+    ``null`` so the artifact stays strict JSON.  The controller never
+    reads accuracy when retargeting, only ``mean_ops`` and
+    ``exit_fractions``.
     """
 
     delta: float
@@ -511,7 +652,7 @@ class OperatingPoint:
     def to_dict(self) -> dict:
         return {
             "delta": self.delta,
-            "accuracy": self.accuracy,
+            "accuracy": None if math.isnan(self.accuracy) else self.accuracy,
             "mean_ops": self.mean_ops,
             "mean_energy_pj": self.mean_energy_pj,
             "exit_fractions": list(self.exit_fractions),
@@ -519,9 +660,10 @@ class OperatingPoint:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "OperatingPoint":
+        accuracy = payload["accuracy"]
         return cls(
             delta=float(payload["delta"]),
-            accuracy=float(payload["accuracy"]),
+            accuracy=float("nan") if accuracy is None else float(accuracy),
             mean_ops=float(payload["mean_ops"]),
             mean_energy_pj=float(payload["mean_energy_pj"]),
             exit_fractions=tuple(float(f) for f in payload["exit_fractions"]),
@@ -530,13 +672,19 @@ class OperatingPoint:
 
 @dataclass(frozen=True)
 class RegimeEntry:
-    """One regime's precomputed operating curve plus its signature."""
+    """One regime's precomputed operating curve plus its signature.
+
+    ``learned`` marks entries fitted online by
+    :class:`~repro.serving.regimes.MiniCalibrator` from live traffic
+    rather than built offline from a labeled scenario.
+    """
 
     name: str
     scenario_spec: str
     num_samples: int
     signature: RegimeSignature
     points: tuple[OperatingPoint, ...]
+    learned: bool = False
 
     def __post_init__(self) -> None:
         if not self.points:
@@ -608,6 +756,7 @@ class RegimeEntry:
             "num_samples": self.num_samples,
             "signature": self.signature.to_dict(),
             "points": [p.to_dict() for p in self.points],
+            "learned": self.learned,
         }
 
     @classmethod
@@ -618,6 +767,9 @@ class RegimeEntry:
             num_samples=int(payload["num_samples"]),
             signature=RegimeSignature.from_dict(payload["signature"]),
             points=tuple(OperatingPoint.from_dict(p) for p in payload["points"]),
+            # v1 artifacts predate learning: everything in them was built
+            # offline, so the missing flag defaults to False losslessly.
+            learned=bool(payload.get("learned", False)),
         )
 
 
@@ -766,25 +918,59 @@ class OperatingTable:
         delta: float | None = None,
         max_stage: int | None = None,
         quantile_weight: float = 2.0,
-    ) -> tuple[str, float]:
+        max_distance: float | None = None,
+    ) -> tuple[str | None, float]:
         """The regime whose signature is nearest to ``signature``.
 
         Pass the δ / depth cap the observed traffic was served under, so
         each regime's expected exit histogram is evaluated at the same
         operating point (:meth:`RegimeEntry.signature_at`).  Returns
-        ``(regime name, distance)``.
+        ``(regime name, distance)``.  Equidistant regimes resolve to the
+        lexicographically lowest name -- deterministic, never insertion
+        order.
+
+        ``max_distance`` is the unknown-regime cutoff: when even the
+        nearest regime is further than this, the match returns
+        ``(None, distance)`` instead of snapping to a table entry that
+        does not describe the traffic -- the caller can then learn a new
+        regime (:class:`~repro.serving.regimes.LearningDeltaPolicy`).
         """
         at = self.reference_delta if delta is None else delta
         best_name, best_distance = "", float("inf")
-        for name, entry in self._regimes.items():
+        # Sorted iteration + strict "<" makes ties land on the lowest
+        # regime name regardless of table construction order.
+        for name in sorted(self._regimes):
             distance = signature_distance(
                 signature,
-                entry.signature_at(at, max_stage=max_stage),
+                self._regimes[name].signature_at(at, max_stage=max_stage),
                 quantile_weight=quantile_weight,
             )
             if distance < best_distance:
                 best_name, best_distance = name, distance
+        if max_distance is not None and best_distance > max_distance:
+            return None, best_distance
         return best_name, best_distance
+
+    def add_regime(self, entry: RegimeEntry) -> None:
+        """Append a (typically learned) regime to the table in place.
+
+        Refuses duplicates and stage-count mismatches; everything else --
+        persisting the grown table, retargeting onto the new curve -- is
+        the caller's job.
+        """
+        if entry.name in self._regimes:
+            raise ConfigurationError(
+                f"regime {entry.name!r} already in table; "
+                f"have {sorted(self._regimes)}"
+            )
+        stages = next(iter(self._regimes.values())).signature.exit_fractions.shape
+        if entry.signature.exit_fractions.shape != stages:
+            raise ConfigurationError(
+                f"regime {entry.name!r} has "
+                f"{entry.signature.exit_fractions.shape[0]} stages, "
+                f"table has {stages[0]}"
+            )
+        self._regimes[entry.name] = entry
 
     # -- serialization -----------------------------------------------------------
     def to_dict(self) -> dict:
@@ -802,10 +988,10 @@ class OperatingTable:
     @classmethod
     def from_dict(cls, payload: dict) -> "OperatingTable":
         schema = payload.get("schema")
-        if schema != TABLE_SCHEMA:
+        if schema not in TABLE_SCHEMAS:
             raise ConfigurationError(
                 f"not an operating table (schema {schema!r}, "
-                f"expected {TABLE_SCHEMA!r})"
+                f"expected one of {TABLE_SCHEMAS!r})"
             )
         return cls(
             {
@@ -819,10 +1005,23 @@ class OperatingTable:
         )
 
     def save(self, path: str | Path) -> Path:
-        """Write the table as pretty-printed JSON; returns the path."""
+        """Write the table as pretty-printed JSON; returns the path.
+
+        The write is atomic: the payload goes to a temporary file in the
+        same directory and is moved over the target with ``os.replace``.
+        Regime learning rewrites the artifact while serving is live, so a
+        crash mid-write must leave the previous table intact, never a
+        truncated one.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            tmp.write_text(payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         return path
 
     @classmethod
@@ -847,13 +1046,20 @@ class OperatingTable:
 @dataclass(frozen=True)
 class RetargetEvent:
     """One detector-triggered retarget: which regime the table matched,
-    at which drift score, and the δ the controller landed on."""
+    at which drift score, and the δ the controller landed on.
+
+    ``trigger`` propagates the detector signal that fired ("level" or
+    "rate"); ``learned`` is True when the regime was fitted live by a
+    mini-calibration pass rather than matched from the existing table.
+    """
 
     observation: int
     regime: str
     score: float
     distance: float
     delta: float
+    trigger: str = "level"
+    learned: bool = False
 
 
 class AdaptiveDeltaPolicy:
@@ -877,15 +1083,30 @@ class AdaptiveDeltaPolicy:
         detector: DriftDetector | None = None,
         *,
         initial_regime: str | None = None,
+        detector_kwargs: dict | None = None,
     ) -> None:
         self.table = table
         self.current_regime = initial_regime or table.reference_regime
         table.entry(self.current_regime)  # validate
         self.detector = detector  # None until prime() derives one
+        #: Keyword arguments for the prime()-derived detector (threshold,
+        #: rate_threshold, ...); ignored when a detector is supplied.
+        self.detector_kwargs = dict(detector_kwargs or {})
         self.events: list[RetargetEvent] = []
         #: Telemetry sink propagated onto a prime()-derived detector; the
         #: engine rebinds it (and the detector's) when telemetry is on.
         self.observer = NULL_OBSERVER
+
+    def pop_overhead_ops(self) -> float:
+        """Online-adaptation OPS accrued since the last pop.
+
+        The base policy reacts with pure table lookups, so this is always
+        0; :class:`~repro.serving.regimes.LearningDeltaPolicy` overrides
+        it to surface mini-calibration cost.  Replay harnesses poll this
+        after every batch and charge it to
+        :attr:`~repro.scenarios.evaluate.DriftPhaseStats.overhead_ops`.
+        """
+        return 0.0
 
     def rebind(self, table: OperatingTable) -> None:
         """Point the policy at another model's operating table (hot swap).
@@ -913,7 +1134,7 @@ class AdaptiveDeltaPolicy:
             controller.delta, max_stage=cap
         )
         if self.detector is None:
-            self.detector = DriftDetector(reference)
+            self.detector = DriftDetector(reference, **self.detector_kwargs)
         else:
             self.detector.rebase(reference)
         if self.detector.observer is NULL_OBSERVER:
@@ -939,16 +1160,20 @@ class AdaptiveDeltaPolicy:
         event = self.detector.observe(exit_stages, stage0_confidences)
         if event is None:
             return None
+        return self._respond(engine, event)
+
+    def _respond(
+        self, engine: "InferenceEngine", event: DriftEvent
+    ) -> RetargetEvent:
+        """React to a fired drift event: choose a regime, retarget, rebase."""
         controller = engine.controller
         cap = controller.max_stage(engine.entry.cost_table)
-        regime, distance = self.table.match(
+        observed = self.detector.window_signature(
             # Match on the freshest batches only: the full window straddles
             # the shift and is diluted with the previous regime.
-            self.detector.window_signature(recent=self.detector.min_observations),
-            delta=controller.delta,
-            max_stage=cap,
-            quantile_weight=self.detector.quantile_weight,
+            recent=self.detector.min_observations
         )
+        regime, distance, learned = self._choose_regime(engine, observed, cap)
         controller.retarget(self.table, regime)
         self.detector.rebase(
             self.table.entry(regime).signature_at(controller.delta, max_stage=cap)
@@ -959,6 +1184,8 @@ class AdaptiveDeltaPolicy:
             score=event.score,
             distance=distance,
             delta=controller.delta,
+            trigger=event.trigger,
+            learned=learned,
         )
         self.current_regime = regime
         self.events.append(retarget)
@@ -970,6 +1197,26 @@ class AdaptiveDeltaPolicy:
             controller.delta,
         )
         return retarget
+
+    def _choose_regime(
+        self,
+        engine: "InferenceEngine",
+        observed: RegimeSignature,
+        cap: int | None,
+    ) -> tuple[str, float, bool]:
+        """Pick the regime to retarget onto: ``(name, distance, learned)``.
+
+        The base policy always snaps to the nearest tabulated regime;
+        :class:`~repro.serving.regimes.LearningDeltaPolicy` overrides
+        this to mini-calibrate a fresh regime past the distance cutoff.
+        """
+        regime, distance = self.table.match(
+            observed,
+            delta=engine.controller.delta,
+            max_stage=cap,
+            quantile_weight=self.detector.quantile_weight,
+        )
+        return regime, distance, False
 
     def __repr__(self) -> str:
         return (

@@ -967,6 +967,12 @@ class InferenceEngine:
         if controller is not None:
             controller.observe(float(ops.mean()), len(batch))
         if self.adaptive is not None:
+            # Learning policies buffer the raw served images so a drift
+            # event can mini-calibrate on the freshest traffic; plain
+            # policies don't define the hook and pay nothing.
+            record_images = getattr(self.adaptive, "record_batch_images", None)
+            if record_images is not None:
+                record_images(images)
             self.adaptive.after_batch(
                 self, result.exit_stages, stage0_confidences
             )

@@ -78,8 +78,15 @@ from repro.errors import ConfigurationError, InputValidationError, ShapeError
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.serving.adaptive import (
     DriftDetector,
+    OperatingTable,
+    RegimeEntry,
     RegimeSignature,
     RetargetEvent,
+)
+from repro.serving.regimes import (
+    LearningDeltaPolicy,
+    MiniCalibrator,
+    next_learned_name,
 )
 from repro.serving.batching import MicroBatcher
 from repro.serving.config import ServingConfig
@@ -273,6 +280,9 @@ class _ReplicaSpec:
     report_every: int
     window: int
     batch_id_base: int
+    #: Served batches buffered replica-side for unknown-regime
+    #: mini-calibration (0 = fleet has no learning policy, keep nothing).
+    learn_batches: int = 0
 
 
 class _SignatureTap:
@@ -286,11 +296,15 @@ class _SignatureTap:
     across replicas without the fraction-averaging bias.
     """
 
-    def __init__(self, num_stages: int, window: int) -> None:
+    def __init__(
+        self, num_stages: int, window: int, learn_batches: int = 0
+    ) -> None:
         self.num_stages = num_stages
         self.window = window
+        self.learn_batches = learn_batches
         self._exit_counts: list[np.ndarray] = []
         self._confidences: list[np.ndarray] = []
+        self._images: list[np.ndarray] = []
 
     def after_batch(self, engine, exit_stages, stage0_confidences):
         self._exit_counts.append(
@@ -302,6 +316,23 @@ class _SignatureTap:
         del self._exit_counts[: -self.window]
         del self._confidences[: -self.window]
         return None
+
+    def record_batch_images(self, images: np.ndarray) -> None:
+        """Buffer served pixels for a parent-requested mini-calibration.
+
+        The engine calls this unconditionally when the hook exists; a
+        fleet without a learning policy sets ``learn_batches=0`` and the
+        buffer stays empty.
+        """
+        if not self.learn_batches:
+            return
+        self._images.append(np.asarray(images))
+        del self._images[: -self.learn_batches]
+
+    def window_images(self) -> np.ndarray | None:
+        if not self._images:
+            return None
+        return np.concatenate(self._images, axis=0)
 
     def window_signature(self) -> RegimeSignature | None:
         if not self._exit_counts:
@@ -319,9 +350,17 @@ def _replica_main(spec: _ReplicaSpec, task_q, result_q) -> None:
     """Replica process entry point (module-level for spawn picklability).
 
     Protocol (parent -> replica): ``("batch", id, items, depth, shed)``,
-    ``("delta", value)``, ``("stop",)``.  Replica -> parent:
-    ``("ready", rid)``, ``("result", rid, batch_id, results, ok_ops,
-    signature_or_None)``, ``("stopped", rid, metrics_snapshot)``.
+    ``("delta", value)``, ``("learn", name, reference_delta, deltas,
+    max_samples)``, ``("regime", name, table_payload)``, ``("stop",)``.
+    Replica -> parent: ``("ready", rid)``, ``("result", rid, batch_id,
+    results, ok_ops, signature_or_None)``, ``("learned", rid, name,
+    entry_payload_or_None, num_samples, overhead_ops)``, ``("regime_ack",
+    rid, name, num_regimes)``, ``("stopped", rid, metrics_snapshot)``.
+
+    ``learn`` runs a bounded mini-calibration over the replica's buffered
+    recent window (the fleet picks ONE replica to pay this); ``regime``
+    broadcasts the grown operating table so every replica acks the fleet's
+    learned state and a future promotion to local control starts warm.
 
     The replica flushes its trace *before* acking each batch: an acked
     batch always has its spans on disk, which is the invariant fleet
@@ -352,9 +391,12 @@ def _replica_main(spec: _ReplicaSpec, task_q, result_q) -> None:
     )
     engine._batch_ids = itertools.count(spec.batch_id_base)
     tap = _SignatureTap(
-        num_stages=len(engine.entry.cdln.stage_names), window=spec.window
+        num_stages=len(engine.entry.cdln.stage_names),
+        window=spec.window,
+        learn_batches=spec.learn_batches,
     )
     engine.adaptive = tap
+    operating_table: OperatingTable | None = None
     result_q.put(("ready", spec.replica_id))
     batches = 0
     clean_stop = False
@@ -367,6 +409,45 @@ def _replica_main(spec: _ReplicaSpec, task_q, result_q) -> None:
                 return
             if kind == "delta":
                 engine.delta = float(msg[1])
+                continue
+            if kind == "learn":
+                _, name, reference_delta, deltas, max_samples = msg
+                images = tap.window_images()
+                payload, num_samples, overhead_ops = None, 0, 0.0
+                if images is not None:
+                    calibrator = (
+                        MiniCalibrator(max_samples=max_samples)
+                        if deltas is None
+                        else MiniCalibrator(
+                            max_samples=max_samples, deltas=deltas
+                        )
+                    )
+                    calibration = calibrator.fit(
+                        engine.entry.cdln,
+                        images,
+                        name=name,
+                        reference_delta=reference_delta,
+                        exit_energies_pj=engine.entry.exit_energies_pj,
+                    )
+                    payload = calibration.entry.to_dict()
+                    num_samples = calibration.num_samples
+                    overhead_ops = calibration.overhead_ops
+                result_q.put(
+                    (
+                        "learned", spec.replica_id, name,
+                        payload, num_samples, overhead_ops,
+                    )
+                )
+                continue
+            if kind == "regime":
+                _, name, table_payload = msg
+                operating_table = OperatingTable.from_dict(table_payload)
+                result_q.put(
+                    (
+                        "regime_ack", spec.replica_id, name,
+                        len(operating_table),
+                    )
+                )
                 continue
             _, batch_id, items, fleet_depth, force_shed = msg
             now = perf_counter()
@@ -500,6 +581,11 @@ class FleetSnapshot:
     shed_requests: int
     restarts: int
     requests_by_replica: tuple[tuple[int, int], ...]
+    #: Regimes mini-calibrated online by the fleet (learning policies).
+    learned_regimes: int = 0
+    #: OPS spent on replica-side mini-calibration passes -- the fleet's
+    #: online control-plane cost, never folded into served request OPS.
+    overhead_ops: float = 0.0
 
 
 class _FleetEngineView:
@@ -518,8 +604,8 @@ class _Replica:
     __slots__ = (
         "id", "process", "task_q", "result_q", "collector", "epoch",
         "sessions", "restarts", "state", "restart_at", "inflight",
-        "ready", "stopped", "snapshot", "last_signature", "jitter",
-        "answered", "failed", "shed",
+        "ready", "stopped", "snapshot", "last_signature", "last_regime",
+        "jitter", "answered", "failed", "shed",
     )
 
     def __init__(self, replica_id: int, jitter_seed: int) -> None:
@@ -538,6 +624,8 @@ class _Replica:
         self.stopped = threading.Event()
         self.snapshot = None
         self.last_signature: RegimeSignature | None = None
+        #: Last learned-regime broadcast this replica acked.
+        self.last_regime: str | None = None
         self.jitter = random.Random(jitter_seed * 1_000_003 + replica_id)
         self.answered = 0
         self.failed: dict[str, int] = {}
@@ -649,6 +737,11 @@ class ServingFabric:
         self._shedding = False
         self._broadcast_delta: float | None = None
         self._crash_failures: dict[str, int] = {}
+        #: In-flight mini-calibration request, or None: {"name", "replica",
+        #: "event", "distance"}.  At most one at a time fleet-wide.
+        self._learning: dict | None = None
+        self._overhead_ops = 0.0
+        self._regime_acks = 0
         self._dispatcher: threading.Thread | None = None
         self._supervisor: threading.Thread | None = None
         self._started = False
@@ -964,6 +1057,8 @@ class ServingFabric:
                 requests_by_replica=tuple(
                     (r.id, r.answered) for r in self._replicas
                 ),
+                learned_regimes=len(getattr(self.adaptive, "learned", ())),
+                overhead_ops=self._overhead_ops,
             )
 
     @property
@@ -1006,6 +1101,11 @@ class ServingFabric:
             batch_id_base=(
                 (rep.id + 1) * _REPLICA_BATCH_STRIDE
                 + rep.sessions * _SESSION_BATCH_STRIDE
+            ),
+            learn_batches=(
+                self.adaptive.learn_batches
+                if isinstance(self.adaptive, LearningDeltaPolicy)
+                else 0
             ),
         )
 
@@ -1148,6 +1248,13 @@ class ServingFabric:
                     self._cond.notify_all()
             elif kind == "result":
                 self._handle_result(rep, msg)
+            elif kind == "learned":
+                self._handle_learned(rep, msg)
+            elif kind == "regime_ack":
+                with self._cond:
+                    rep.last_regime = msg[2]
+                    self._regime_acks += 1
+                    self._cond.notify_all()
             elif kind == "stopped":
                 rep.snapshot = msg[2]
                 rep.stopped.set()
@@ -1297,30 +1404,151 @@ class ServingFabric:
             max_stage=cap,
             quantile_weight=detector.quantile_weight,
         )
+        if (
+            isinstance(adaptive, LearningDeltaPolicy)
+            and distance > adaptive.unknown_distance
+            and len(adaptive.learned) < adaptive.max_learned
+            and self._learning is None
+            and self._request_learning_locked(event, distance)
+        ):
+            # One replica is now scoring its recent window; the retarget
+            # happens in _handle_learned when the fitted curve arrives.
+            return
+        self._retarget_fleet_locked(
+            regime, event.score, event.observation, distance,
+            trigger=event.trigger, learned=False,
+        )
+
+    def _retarget_fleet_locked(
+        self,
+        regime: str,
+        score: float,
+        observation: int,
+        distance: float,
+        *,
+        trigger: str,
+        learned: bool,
+    ) -> None:
+        adaptive = self.adaptive
+        controller = self.controller
+        cap = controller.max_stage(self._entry.cost_table)
         controller.retarget(adaptive.table, regime)
-        detector.rebase(
+        self._detector.rebase(
             adaptive.table.entry(regime).signature_at(
                 controller.delta, max_stage=cap
             )
         )
         retarget = RetargetEvent(
-            observation=event.observation,
+            observation=observation,
             regime=regime,
-            score=event.score,
+            score=score,
             distance=distance,
             delta=float(controller.delta),
+            trigger=trigger,
+            learned=learned,
         )
         adaptive.current_regime = regime
         adaptive.events.append(retarget)
         self.observer.event(
-            "fleet_retarget", regime=regime, score=event.score,
+            "fleet_retarget", regime=regime, score=score,
             distance=distance, delta=float(controller.delta),
+            trigger=trigger, learned=learned,
         )
         _log.info(
             "fleet retargeted to regime %r (score %.3f) -> delta %.3f",
-            regime, event.score, controller.delta,
+            regime, score, controller.delta,
         )
         self._broadcast_delta_locked()
+
+    def _request_learning_locked(self, event, distance: float) -> bool:
+        """Ask one live replica to mini-calibrate its recent window.
+
+        The fleet pays the bounded scoring pass exactly once, on a single
+        replica (the others keep serving); returns False when no replica
+        can take the request, in which case the caller falls back to a
+        plain nearest-regime retarget.
+        """
+        adaptive = self.adaptive
+        candidates = [
+            r for r in self._replicas
+            if r.state == "live" and r.ready.is_set()
+            and r.last_signature is not None
+        ]
+        if not candidates:
+            return False
+        rep = candidates[0]
+        name = next_learned_name(adaptive.table.regime_names)
+        try:
+            rep.task_q.put(
+                (
+                    "learn", name, adaptive.table.reference_delta,
+                    adaptive.calibrator.deltas,
+                    adaptive.calibrator.max_samples,
+                )
+            )
+        except (OSError, ValueError):  # pragma: no cover -- dying queue
+            return False
+        self._learning = {
+            "name": name,
+            "replica": rep.id,
+            "event": event,
+            "distance": distance,
+        }
+        self.observer.event(
+            "fleet_learning_requested",
+            regime=name, replica=rep.id, distance=distance,
+        )
+        _log.info(
+            "fleet requested mini-calibration %r on replica %d "
+            "(distance %.3f > cutoff %.3f)",
+            name, rep.id, distance, adaptive.unknown_distance,
+        )
+        return True
+
+    def _handle_learned(self, rep: _Replica, msg: tuple) -> None:
+        _, _, name, payload, num_samples, overhead_ops = msg
+        with self._cond:
+            pending, self._learning = self._learning, None
+            if pending is None or pending["name"] != name:
+                return  # stale reply (e.g. raced a restart); drop it
+            adaptive = self.adaptive
+            event = pending["event"]
+            if payload is None:
+                # The replica had no buffered window to score; re-arm the
+                # detector so the next drifted window can retry.
+                self.observer.event(
+                    "fleet_learning_failed", regime=name, replica=rep.id,
+                )
+                self._detector.rearm()
+                self._cond.notify_all()
+                return
+            entry = RegimeEntry.from_dict(name, payload)
+            adaptive.table.add_regime(entry)
+            if adaptive.table_path is not None:
+                adaptive.table.save(adaptive.table_path)
+            adaptive.learned.append(name)
+            adaptive.overhead_ops_total += overhead_ops
+            self._overhead_ops += overhead_ops
+            self.observer.event(
+                "fleet_regime_learned",
+                regime=name, replica=rep.id,
+                num_samples=num_samples, overhead_ops=overhead_ops,
+            )
+            self._retarget_fleet_locked(
+                name, event.score, event.observation, pending["distance"],
+                trigger=event.trigger, learned=True,
+            )
+            # Broadcast the grown table so every replica holds the fleet's
+            # learned state (and acks it -- regime_acks is the barrier
+            # tests and operators can wait on).
+            table_payload = adaptive.table.to_dict()
+            for r in self._replicas:
+                if r.state != "dead" and r.task_q is not None:
+                    try:
+                        r.task_q.put(("regime", name, table_payload))
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+            self._cond.notify_all()
 
     # -- supervision ------------------------------------------------------------
     def _supervise_loop(self) -> None:
@@ -1358,6 +1586,12 @@ class ServingFabric:
         policy = self.resilience
         with self._cond:
             inflight, rep.inflight = rep.inflight, None
+            if self._learning is not None and self._learning["replica"] == rep.id:
+                # The mini-calibration died with the replica; re-arm the
+                # detector so the next drifted window can retry elsewhere.
+                self._learning = None
+                if self._detector is not None:
+                    self._detector.rearm()
             rep.restarts += 1
             can_restart = (
                 policy is not None

@@ -1,0 +1,323 @@
+"""Closed-loop regime learning: mini-calibration of unknown regimes.
+
+:mod:`repro.serving.adaptive` reacts to drift with a pure table lookup --
+which is only as good as the table.  A deployment whose scenario mix
+wanders off the tabulated regimes would silently snap to the *nearest*
+curve and serve with a stale δ → mean-OPS mapping.  This module closes
+that gap:
+
+* :class:`MiniCalibrator` -- a bounded live scoring pass: one
+  :class:`~repro.cdl.score_cache.StageScoreCache` build over the recent
+  traffic window, every δ on the grid replayed for free, fitted into a
+  :class:`~repro.serving.adaptive.RegimeEntry`.  Every OP of the pass is
+  reported so replay harnesses can charge it to
+  :attr:`~repro.scenarios.evaluate.DriftPhaseStats.overhead_ops` -- the
+  head-to-head against scheduled recalibration stays fair.
+* :class:`LearningDeltaPolicy` -- an
+  :class:`~repro.serving.adaptive.AdaptiveDeltaPolicy` whose table-match
+  carries a distance cutoff (``unknown_distance``).  Within the cutoff
+  it behaves exactly like the base policy; beyond it, it mini-calibrates
+  a new regime from the buffered window, appends it to the table
+  (:meth:`~repro.serving.adaptive.OperatingTable.add_regime`), atomically
+  rewrites the JSON artifact when ``table_path`` is set, and retargets
+  onto the freshly fitted curve.  The table *learns* the deployment's
+  scenario distribution over time.
+
+Learned operating points have no ground-truth labels, so their
+``accuracy`` is NaN (serialized as JSON ``null`` under the v2 schema);
+the controller only ever reads ``mean_ops`` / ``exit_fractions`` when
+retargeting, so budget control is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serving.adaptive import (
+    DEFAULT_TABLE_GRID,
+    AdaptiveDeltaPolicy,
+    DriftDetector,
+    OperatingPoint,
+    OperatingTable,
+    RegimeEntry,
+    RegimeSignature,
+)
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cdl.network import CDLN
+    from repro.serving.engine import InferenceEngine
+
+_log = get_logger("serving.regimes")
+
+#: Name prefix for regimes fitted online; numbered ``learned_0``, ...
+LEARNED_PREFIX = "learned"
+
+#: Default unknown-regime distance cutoff.  Same-regime sampling noise
+#: scores ~0.05, the built-in corruption regimes score O(0.5+) apart, and
+#: the detector's own level threshold is 0.25 -- so a nearest-match
+#: beyond 0.5 means "none of the tabulated regimes describes this".
+DEFAULT_UNKNOWN_DISTANCE = 0.5
+
+
+def next_learned_name(existing: Iterable[str]) -> str:
+    """First free ``learned_<i>`` name not already in ``existing``."""
+    taken = set(existing)
+    i = 0
+    while f"{LEARNED_PREFIX}_{i}" in taken:
+        i += 1
+    return f"{LEARNED_PREFIX}_{i}"
+
+
+@dataclass(frozen=True)
+class MiniCalibration:
+    """Result of one bounded live calibration pass.
+
+    ``overhead_ops`` is the full cost of the pass -- ``num_samples``
+    images times a full cascade traversal (``exit_totals[-1]`` each, the
+    same price :func:`~repro.scenarios.evaluate.replay_drift` charges a
+    scheduled recalibration) -- so online learning is accounted at the
+    identical yardstick.
+    """
+
+    entry: RegimeEntry
+    overhead_ops: float
+    num_samples: int
+
+
+class MiniCalibrator:
+    """Fits a :class:`~repro.serving.adaptive.RegimeEntry` from raw images.
+
+    One :class:`~repro.cdl.score_cache.StageScoreCache` build is the only
+    backbone work; the whole δ grid then replays exactly for free, same
+    as an offline table build -- just over a bounded live window
+    (``max_samples`` newest images) instead of a labeled dataset.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_samples: int = 256,
+        deltas: Sequence[float] = DEFAULT_TABLE_GRID,
+        batch_size: int = 256,
+    ) -> None:
+        check_positive_int(max_samples, "max_samples")
+        check_positive_int(batch_size, "batch_size")
+        if not deltas:
+            raise ConfigurationError("mini-calibration needs a non-empty δ grid")
+        self.max_samples = max_samples
+        self.deltas = tuple(float(d) for d in deltas)
+        self.batch_size = batch_size
+
+    def fit(
+        self,
+        cdln: "CDLN",
+        images: np.ndarray,
+        *,
+        name: str,
+        reference_delta: float,
+        exit_energies_pj: np.ndarray | None = None,
+    ) -> MiniCalibration:
+        """Score ``images`` once; tabulate every δ into a learned entry."""
+        from repro.cdl.score_cache import StageScoreCache
+
+        images = np.asarray(images)
+        if images.shape[0] == 0:
+            raise ConfigurationError("cannot mini-calibrate on zero images")
+        if images.shape[0] > self.max_samples:
+            # Newest traffic wins: the tail of the window is the regime
+            # we are trying to describe.
+            images = images[-self.max_samples :]
+        cache = StageScoreCache.build(cdln, images, batch_size=self.batch_size)
+        totals = np.asarray(
+            cdln.path_cost_table().exit_totals(), dtype=np.float64
+        )
+        energies = (
+            None
+            if exit_energies_pj is None
+            else np.asarray(exit_energies_pj, dtype=np.float64)
+        )
+        num_stages = cache.num_stages
+        points = []
+        for delta in self.deltas:
+            exits = cache.exit_stages(delta)
+            fractions = np.bincount(exits, minlength=num_stages) / exits.shape[0]
+            points.append(
+                OperatingPoint(
+                    delta=float(delta),
+                    # Live traffic is unlabeled -- no accuracy estimate.
+                    accuracy=float("nan"),
+                    mean_ops=float(totals[exits].mean()),
+                    mean_energy_pj=(
+                        0.0 if energies is None else float(energies[exits].mean())
+                    ),
+                    exit_fractions=tuple(float(f) for f in fractions),
+                )
+            )
+        entry = RegimeEntry(
+            name=name,
+            scenario_spec="<live mini-calibration>",
+            num_samples=int(images.shape[0]),
+            signature=RegimeSignature.from_cache(cache, reference_delta),
+            points=tuple(points),
+            learned=True,
+        )
+        overhead_ops = float(images.shape[0]) * float(totals[-1])
+        _log.info(
+            "mini-calibrated regime %r from %d live images (%.3g overhead OPS)",
+            name,
+            images.shape[0],
+            overhead_ops,
+        )
+        return MiniCalibration(
+            entry=entry,
+            overhead_ops=overhead_ops,
+            num_samples=int(images.shape[0]),
+        )
+
+
+class LearningDeltaPolicy(AdaptiveDeltaPolicy):
+    """Adaptive policy that *learns* regimes beyond the match cutoff.
+
+    Wiring is identical to :class:`AdaptiveDeltaPolicy` -- install via
+    ``ServingConfig(..., adaptive=policy)`` -- plus the engine feeds it
+    the raw served images (:meth:`record_batch_images`, a bounded
+    buffer).  On a drift event:
+
+    * nearest tabulated regime within ``unknown_distance`` → plain
+      zero-OPS retarget, exactly the base policy;
+    * beyond the cutoff → :class:`MiniCalibrator` fits a new regime from
+      the buffered window, the table grows in place
+      (atomically re-persisted when ``table_path`` is set), and the
+      controller retargets onto the fresh curve.  The pass's OPS are
+      surfaced via :meth:`pop_overhead_ops` for fair accounting.
+
+    ``max_learned`` bounds table growth; past it the policy degrades to
+    nearest-match (never unbounded memory / artifact size).
+    """
+
+    def __init__(
+        self,
+        table: OperatingTable,
+        detector: DriftDetector | None = None,
+        *,
+        unknown_distance: float = DEFAULT_UNKNOWN_DISTANCE,
+        calibrator: MiniCalibrator | None = None,
+        table_path: str | Path | None = None,
+        learn_batches: int = 2,
+        max_learned: int = 8,
+        initial_regime: str | None = None,
+        detector_kwargs: dict | None = None,
+    ) -> None:
+        super().__init__(
+            table,
+            detector,
+            initial_regime=initial_regime,
+            detector_kwargs=detector_kwargs,
+        )
+        if unknown_distance <= 0:
+            raise ConfigurationError(
+                f"unknown_distance must be > 0, got {unknown_distance}"
+            )
+        check_positive_int(learn_batches, "learn_batches")
+        check_positive_int(max_learned, "max_learned")
+        self.unknown_distance = float(unknown_distance)
+        self.calibrator = calibrator or MiniCalibrator()
+        self.table_path = None if table_path is None else Path(table_path)
+        self.learn_batches = learn_batches
+        self.max_learned = max_learned
+        #: Names of regimes fitted online, in learning order.
+        self.learned: list[str] = []
+        #: Lifetime mini-calibration OPS (monotone; see pop_overhead_ops).
+        self.overhead_ops_total = 0.0
+        self._pending_overhead = 0.0
+        self._images: list[np.ndarray] = []
+
+    # -- live window -------------------------------------------------------------
+    def record_batch_images(self, images: np.ndarray) -> None:
+        """Buffer a served batch's raw images (keeps ``learn_batches``).
+
+        The engine calls this right before :meth:`after_batch`, so at
+        drift time the buffer holds the freshest post-shift traffic --
+        the sample a learned regime should describe.
+        """
+        self._images.append(np.asarray(images))
+        del self._images[: -self.learn_batches]
+
+    def window_images(self) -> np.ndarray | None:
+        """The buffered window as one array (newest last), or ``None``."""
+        if not self._images:
+            return None
+        return np.concatenate(self._images, axis=0)
+
+    def pop_overhead_ops(self) -> float:
+        """Mini-calibration OPS accrued since the last pop (then reset)."""
+        pending, self._pending_overhead = self._pending_overhead, 0.0
+        return pending
+
+    # -- regime choice -----------------------------------------------------------
+    def _choose_regime(
+        self,
+        engine: "InferenceEngine",
+        observed: RegimeSignature,
+        cap: int | None,
+    ) -> tuple[str, float, bool]:
+        regime, distance = self.table.match(
+            observed,
+            delta=engine.controller.delta,
+            max_stage=cap,
+            quantile_weight=self.detector.quantile_weight,
+        )
+        if distance <= self.unknown_distance:
+            return regime, distance, False
+        if self.window_images() is None or len(self.learned) >= self.max_learned:
+            # Nothing to learn from (or table full): degrade gracefully
+            # to the nearest tabulated regime, like the base policy.
+            return regime, distance, False
+        return self._learn(engine, distance)
+
+    def _learn(
+        self, engine: "InferenceEngine", distance: float
+    ) -> tuple[str, float, bool]:
+        """Fit, append, persist, and account a new regime."""
+        name = next_learned_name(self.table.regime_names)
+        calibration = self.calibrator.fit(
+            engine.entry.cdln,
+            self.window_images(),
+            name=name,
+            reference_delta=self.table.reference_delta,
+            exit_energies_pj=engine.entry.exit_energies_pj,
+        )
+        self.table.add_regime(calibration.entry)
+        if self.table_path is not None:
+            self.table.save(self.table_path)
+        self.learned.append(name)
+        self._pending_overhead += calibration.overhead_ops
+        self.overhead_ops_total += calibration.overhead_ops
+        self.observer.event(
+            "regime_learned",
+            regime=name,
+            num_samples=calibration.num_samples,
+            overhead_ops=calibration.overhead_ops,
+            distance=distance,
+        )
+        _log.info(
+            "learned regime %r (nearest tabulated was %.3f > cutoff %.3f)",
+            name,
+            distance,
+            self.unknown_distance,
+        )
+        return name, distance, True
+
+    def __repr__(self) -> str:
+        return (
+            f"LearningDeltaPolicy(regime={self.current_regime!r}, "
+            f"learned={len(self.learned)}, cutoff={self.unknown_distance}, "
+            f"retargets={len(self.events)})"
+        )

@@ -458,7 +458,8 @@ class TestPublicSurface:
             "FabricConfig", "FaultInjector", "FaultPlan", "FaultSpec",
             "FleetSnapshot", "HealthStatus",
             "InferenceEngine", "InferenceResponse", "InjectedFault",
-            "LoadRunner", "MetricsSnapshot", "MicroBatchPolicy",
+            "LearningDeltaPolicy", "LoadRunner", "MetricsSnapshot",
+            "MicroBatchPolicy", "MiniCalibration", "MiniCalibrator",
             "ModelEntry", "ModelRegistry", "OperatingPoint",
             "OperatingTable", "RegimeEntry", "RegimeSignature",
             "RequestFailed", "RequestOutcome", "ResiliencePolicy",
@@ -466,8 +467,8 @@ class TestPublicSurface:
             "ServingConfig", "ServingFabric", "ServingMetrics",
             "SharedParams", "ShedPolicy", "Ticket",
             "execute_cascade", "fold_exit_fractions",
-            "population_stability_index", "signature_distance",
-            "simulate_exit_stages",
+            "population_stability_index", "robust_slope",
+            "signature_distance", "simulate_exit_stages",
         }
         assert set(serving.__all__) == expected
         assert set(serving.__all__) <= set(dir(serving))
